@@ -1,0 +1,69 @@
+"""Benches for the ablation studies (design choices the paper asserts)."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+def test_bench_greedy_vs_optimal(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablations.greedy_vs_optimal(n_sensors=5, seeds=(0, 1, 2)),
+        rounds=1,
+        iterations=1,
+    )
+    # Table-1 greedy stays close to optimal on small instances
+    for r in rows:
+        assert r["greedy_slots"] >= r["optimal_slots"]
+        assert r["ratio"] <= 1.6
+
+
+def test_bench_m_sensitivity(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablations.m_sensitivity(n_sensors=20, seed=0, ms=(1, 2)),
+        rounds=1,
+        iterations=1,
+    )
+    by_m = {r["M"]: r for r in rows}
+    # more probed concurrency never hurts polling time...
+    assert by_m[2]["polling_slots"] <= by_m[1]["polling_slots"]
+    # ...but costs combinatorially more probing
+    assert by_m[2]["probe_groups"] > by_m[1]["probe_groups"] * 5
+
+
+def test_bench_routing_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablations.routing_minmax_vs_shortest(n_sensors=20, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    # min-max flow routing dominates BFS on the bottleneck load
+    assert all(r["minmax_max_load"] <= r["bfs_max_load"] for r in rows)
+    assert any(r["minmax_max_load"] < r["bfs_max_load"] for r in rows)
+
+
+def test_bench_scan_order(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablations.scan_order(n_sensors=20, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) == 3
+
+
+def test_bench_sector_rules(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablations.sector_rules(n_sensors=20, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    by = {r["rules"]: r["lifetime_ratio"] for r in rows}
+    assert all(v > 0.8 for v in by.values())
+
+
+def test_bench_delay_thm2(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablations.delay_vs_nodelay(n_vertices=4, seeds=(0, 1)),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(not r["delay_helps"] for r in rows)

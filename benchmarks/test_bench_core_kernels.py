@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the computational kernels (profiling guardrails).
+
+Not paper artifacts — these watch the hot paths the experiments lean on so
+a future change that regresses them is caught by the benchmark run.
+"""
+
+import numpy as np
+
+from repro.core import OnlinePollingScheduler
+from repro.mac.base import geometric_oracle
+from repro.routing import FlowNetwork, solve_min_max_load
+from repro.topology import Cluster, uniform_square
+
+
+def test_bench_maxflow_kernel(benchmark):
+    rng = np.random.default_rng(0)
+    n = 60
+    g = FlowNetwork(n)
+    for _ in range(400):
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            g.add_edge(int(u), int(v), int(rng.integers(1, 10)))
+
+    def solve():
+        g.reset_flow()
+        return g.max_flow(0, n - 1)
+
+    value = benchmark(solve)
+    assert value >= 0
+
+
+def test_bench_minmax_routing(benchmark):
+    dep = uniform_square(40, seed=0)
+    cluster = Cluster.from_deployment(dep)
+    sol = benchmark(lambda: solve_min_max_load(cluster))
+    assert sol.max_load >= 1
+
+
+def test_bench_online_scheduler_30_sensors(benchmark):
+    dep = uniform_square(30, seed=0)
+    geo = Cluster.from_deployment(dep)
+    oracle, cluster = geometric_oracle(geo)
+    cluster = cluster.with_packets(np.full(30, 3, dtype=np.int64))
+    plan = solve_min_max_load(cluster).routing_plan()
+
+    result = benchmark(lambda: OnlinePollingScheduler.poll(plan, oracle))
+    assert result.pool.all_deleted()
+
+
+def test_bench_event_kernel(benchmark):
+    from repro.sim import Simulator
+
+    def run():
+        sim = Simulator()
+        count = {"n": 0}
+
+        def tick():
+            count["n"] += 1
+            if count["n"] < 20_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        sim.run()
+        return count["n"]
+
+    assert benchmark(run) == 20_000

@@ -1,0 +1,11 @@
+"""Bench: the Fig. 2 worked example (3 slots sequential vs 2 multi-hop)."""
+
+from repro.experiments import fig2
+
+
+def test_bench_fig2_regenerates(benchmark):
+    rows = benchmark(fig2.run)
+    by = {r["schedule"]: r["slots"] for r in rows}
+    assert by["one sensor at a time"] == 3
+    assert by["greedy multi-hop polling"] == 2
+    assert by["optimal"] == 2

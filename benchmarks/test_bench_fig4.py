@@ -1,0 +1,33 @@
+"""Bench: Fig. 4 — TSRFP construction, exact solve, certificate round trip."""
+
+from repro.core import solve_optimal
+from repro.experiments import fig4
+from repro.hardness import (
+    find_hamiltonian_path,
+    hamiltonian_path_from_schedule,
+    is_hamiltonian_path,
+    tsrfp_from_graph,
+)
+
+
+def test_bench_fig4_regenerates(benchmark):
+    rows = benchmark(fig4.run)
+    by = {r["quantity"]: r["value"] for r in rows}
+    assert by["optimal schedule slots"] == by["deadline T = n+1 slots"] == 6
+
+
+def test_bench_tsrfp_exact_solve(benchmark):
+    adj = fig4.fig4_graph()
+    inst = tsrfp_from_graph(adj)
+    plan = inst.routing_plan()
+
+    result = benchmark(lambda: solve_optimal(plan, inst.oracle))
+    assert result.makespan == 6
+    back = hamiltonian_path_from_schedule(inst, result.schedule)
+    assert is_hamiltonian_path(adj, back)
+
+
+def test_bench_hamiltonian_dp(benchmark):
+    adj = fig4.fig4_graph()
+    path = benchmark(lambda: find_hamiltonian_path(adj))
+    assert path is not None

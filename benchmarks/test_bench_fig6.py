@@ -1,0 +1,18 @@
+"""Bench: Fig. 6 — CPAR gadget construction and brute-force optimum."""
+
+from repro.experiments import fig6
+from repro.hardness import brute_force_min_pseudo_rate, cpar_from_partition
+
+
+def test_bench_fig6_regenerates(benchmark):
+    rows = benchmark(fig6.run)
+    by = {r["quantity"]: r["value"] for r in rows}
+    assert by["meets threshold"] is True
+    assert by["best achievable max pseudo rate"] == by["threshold B = A + 2"]
+
+
+def test_bench_cpar_brute_force(benchmark):
+    inst = cpar_from_partition([4, 3, 2, 3, 2])
+    best, partition = benchmark(lambda: brute_force_min_pseudo_rate(inst))
+    assert best <= inst.threshold  # {4,3}/{3,2,2} splits evenly
+    assert partition.n_sectors == 2

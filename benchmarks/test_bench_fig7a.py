@@ -1,0 +1,52 @@
+"""Bench: Fig. 7(a) — % active time vs cluster size x data generating rate.
+
+A reduced sweep (the full 10-sizes x 4-rates grid lives in
+``python -m repro.experiments.fig7a``) asserting the paper's shape: active
+time grows along both axes and approaches saturation for large, fast
+clusters.
+"""
+
+import pytest
+
+from repro.experiments import fig7a
+
+SIZES = (10, 30, 60)
+RATES = (20.0, 80.0)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return fig7a.run(sizes=SIZES, rates=RATES, seeds=(0,), n_cycles=4)
+
+
+def test_bench_fig7a_sweep(benchmark, sweep):
+    # time a single representative mid-size point
+    row = benchmark.pedantic(
+        lambda: fig7a.run_point(30, 40.0, seeds=(0,), n_cycles=4),
+        rounds=1,
+        iterations=1,
+    )
+    assert 0 < row["active_pct"] <= 100
+
+
+def test_fig7a_monotone_in_size(sweep):
+    for rate in RATES:
+        pcts = [r["active_pct"] for r in sweep if r["rate_bps"] == rate]
+        assert pcts == sorted(pcts)
+
+
+def test_fig7a_monotone_in_rate(sweep):
+    for n in SIZES:
+        pcts = [r["active_pct"] for r in sweep if r["n_sensors"] == n]
+        assert pcts == sorted(pcts)
+
+
+def test_fig7a_small_cluster_sleeps_most(sweep):
+    small = next(r for r in sweep if r["n_sensors"] == 10 and r["rate_bps"] == 20.0)
+    assert small["active_pct"] < 12.0
+
+
+def test_fig7a_saturation_cliff():
+    """The paper's 90-node/80-Bps cliff: big fast clusters approach 100%."""
+    row = fig7a.run_point(90, 80.0, seeds=(3,), n_cycles=5, warmup_cycles=1)
+    assert row["active_pct"] > 75.0

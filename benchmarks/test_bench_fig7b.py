@@ -1,0 +1,94 @@
+"""Bench: Fig. 7(b) — throughput vs offered load, polling vs S-MAC + AODV.
+
+Runs the full event-driven comparison at a reduced scale (20 sensors, two
+offered loads, two duty cycles; the paper-scale sweep is
+``python -m repro.experiments.fig7b``) and asserts the paper's three
+claims: polling delivers 100% everywhere, S-MAC undershoots at high load
+even without sleeping, and lower duty cycles lose more.
+"""
+
+import pytest
+
+from repro.net import (
+    PollingSimConfig,
+    SmacSimConfig,
+    run_polling_simulation,
+    run_smac_simulation,
+)
+
+N = 20
+HIGH_RATE = 60.0  # 1200 Bps total: past the S-MAC saturation knee
+LOW_RATE = 7.0  # 140 Bps total
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for tag, rate in (("low", LOW_RATE), ("high", HIGH_RATE)):
+        out[("poll", tag)] = run_polling_simulation(
+            PollingSimConfig(
+                n_sensors=N, rate_bps=rate, cycle_length=5.0, n_cycles=8, seed=4
+            )
+        )
+        for duty in (1.0, 0.3):
+            out[("smac", tag, duty)] = run_smac_simulation(
+                SmacSimConfig(
+                    n_sensors=N,
+                    rate_bps=rate,
+                    duty_cycle=duty,
+                    duration=40.0,
+                    warmup=8.0,
+                    seed=4,
+                )
+            )
+    return out
+
+
+def test_bench_fig7b_polling_point(benchmark):
+    res = benchmark.pedantic(
+        lambda: run_polling_simulation(
+            PollingSimConfig(
+                n_sensors=N, rate_bps=LOW_RATE, cycle_length=5.0, n_cycles=4, seed=4
+            )
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert res.throughput_ratio == 1.0
+
+
+def test_bench_fig7b_smac_point(benchmark):
+    res = benchmark.pedantic(
+        lambda: run_smac_simulation(
+            SmacSimConfig(
+                n_sensors=N, rate_bps=LOW_RATE, duty_cycle=0.5,
+                duration=20.0, warmup=5.0, seed=4,
+            )
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert res.packets_delivered > 0
+
+
+def test_polling_full_throughput_all_loads(results):
+    assert results[("poll", "low")].throughput_ratio == 1.0
+    assert results[("poll", "high")].throughput_ratio == 1.0
+
+
+def test_smac_undershoots_at_high_load_even_awake(results):
+    smac = results[("smac", "high", 1.0)]
+    assert smac.throughput_bps < smac.offered_bps * 0.9
+
+
+def test_smac_degrades_with_duty_cycle(results):
+    full = results[("smac", "high", 1.0)]
+    low = results[("smac", "high", 0.3)]
+    assert low.throughput_bps < full.throughput_bps
+
+
+def test_polling_sleeps_more_than_any_smac(results):
+    poll_active = results[("poll", "high")].mean_active_fraction
+    for duty in (1.0, 0.3):
+        smac_active = float(results[("smac", "high", duty)].active_fraction.mean())
+        assert poll_active < smac_active

@@ -1,0 +1,27 @@
+"""Bench: Sec. V-G inter-cluster coordination on a shared medium (ours)."""
+
+import pytest
+
+from repro.net import MultiClusterConfig, run_multicluster_simulation
+
+
+def _run(mode):
+    return run_multicluster_simulation(
+        MultiClusterConfig(
+            mode=mode, n_sensors=40, n_heads=3, n_cycles=3, seed=2,
+            rate_bps=20.0, cycle_length=5.0, field_m=330.0,
+        )
+    )
+
+
+def test_bench_multicluster_channels(benchmark):
+    res = benchmark.pedantic(lambda: _run("channels"), rounds=1, iterations=1)
+    assert res.delivery_ratio == 1.0
+
+
+def test_bench_multicluster_modes_ordering():
+    un = _run("uncoordinated")
+    tok = _run("token")
+    ch = _run("channels")
+    assert un.collisions > 10 * max(tok.collisions, ch.collisions, 1)
+    assert tok.delivery_ratio == ch.delivery_ratio == 1.0

@@ -1,0 +1,45 @@
+"""Quickstart: the paper's Fig. 2 example, end to end on the public API.
+
+Builds the three-sensor cluster from the paper's Fig. 2, routes it with the
+min-max-load network-flow algorithm, polls it with the on-line Table-1
+scheduler, and shows the 2-slot schedule (sequential polling would take 3).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import HEAD, Cluster, OnlinePollingScheduler, TabulatedOracle, solve_min_max_load
+
+# --- the cluster of Fig. 2 ---------------------------------------------------
+# s0 (the paper's S1) sits next to the head and relays; s1 (S2) is behind it;
+# s2 (S3) also sits next to the head.  S1 has nothing to send this cycle.
+cluster = Cluster.from_edges(
+    n_sensors=3,
+    sensor_edges=[(0, 1)],  # s0 and s1 hear each other
+    head_links=[0, 2],  # the head hears s0 and s2
+    packets=[0, 1, 1],
+)
+
+# --- routing: min-max sensor load via network flow (Sec. III-A) ---------------
+solution = solve_min_max_load(cluster)
+plan = solution.routing_plan()
+print("relaying paths (min-max load =", solution.max_load, "):")
+print(plan.describe())
+
+# --- interference: the head has probed that s1->s0 and s2->t can co-occur -----
+oracle = TabulatedOracle(
+    compatible_pairs=[((1, 0), (2, HEAD))],
+    valid_links=[(1, 0), (0, HEAD), (2, HEAD)],
+    max_group_size=2,  # the paper's M
+)
+
+# --- polling: the on-line greedy algorithm (Table 1) ---------------------------
+result = OnlinePollingScheduler.poll(plan, oracle)
+print(f"\npolling finished in {result.makespan} slots (sequential would need 3):")
+print(result.schedule.describe())
+
+# The schedule is provably legal: pipelined, collision-free, complete.
+result.schedule.validate(list(result.pool), oracle)
+print("\nschedule validated: pipelined, collision-free, all packets delivered.")
+
+print("\nper-node timeline (T=transmit, R=receive):")
+print(result.schedule.gantt())

@@ -1,0 +1,61 @@
+"""Polling vs S-MAC + AODV: a compact Fig. 7(b).
+
+Runs both MACs over the *same* PHY model and deployment at three offered
+loads and prints the throughput table.  Expected outcome (the paper's):
+polling delivers everything at every load while sleeping most of the time;
+S-MAC loses packets to collisions and AODV control overhead, and degrades
+sharply as its duty cycle shrinks.
+
+Run:  python examples/smac_comparison.py            (~1 minute)
+"""
+
+from repro.net import (
+    PollingSimConfig,
+    SmacSimConfig,
+    run_polling_simulation,
+    run_smac_simulation,
+)
+
+N_SENSORS = 20
+OFFERED = (140.0, 500.0, 800.0)  # total Bps
+DUTIES = (1.0, 0.5, 0.3)
+
+
+def main() -> None:
+    print(f"{'scheme':<18} {'offered':>8} {'delivered':>10} {'active%':>8}")
+    print("-" * 48)
+    for offered in OFFERED:
+        rate = offered / N_SENSORS
+        poll = run_polling_simulation(
+            PollingSimConfig(
+                n_sensors=N_SENSORS, rate_bps=rate, cycle_length=5.0, n_cycles=8, seed=3
+            )
+        )
+        print(
+            f"{'Multihop Polling':<18} {offered:>8.0f} "
+            f"{poll.throughput_ratio * offered:>10.0f} "
+            f"{100 * poll.mean_active_fraction:>8.1f}"
+        )
+        for duty in DUTIES:
+            smac = run_smac_simulation(
+                SmacSimConfig(
+                    n_sensors=N_SENSORS,
+                    rate_bps=rate,
+                    duty_cycle=duty,
+                    duration=40.0,
+                    warmup=8.0,
+                    seed=3,
+                )
+            )
+            label = "SMAC no-sleep" if duty >= 1.0 else f"SMAC {int(duty*100)}% duty"
+            print(
+                f"{label:<18} {offered:>8.0f} {smac.throughput_bps:>10.0f} "
+                f"{100 * float(smac.active_fraction.mean()):>8.1f}"
+            )
+        print("-" * 48)
+    print("polling keeps 100% delivery while being asleep most of the time;")
+    print("S-MAC trades throughput for sleep and pays AODV/collision overhead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro — Energy-efficient multi-hop polling in two-layered heterogeneous WSNs.
+
+A complete reproduction of Zhang, Ma & Yang, IPDPS 2005: min-max-load relay
+routing, the on-line multi-hop polling scheduler, sector partitioning, the
+NP-hardness gadget machinery, and a discrete-event PHY/MAC simulation stack
+(polling MAC vs. S-MAC + AODV) regenerating the paper's evaluation figures.
+
+Quickstart::
+
+    from repro import Cluster, solve_min_max_load, OnlinePollingScheduler
+    from repro.interference import TabulatedOracle
+
+See ``examples/quickstart.py`` for the paper's Fig. 2 walked end to end.
+"""
+
+from .topology import HEAD, Cluster, Deployment, build_tsrf, line, uniform_square
+from .routing import (
+    FlowSolution,
+    PathRotator,
+    RelayTree,
+    RoutingPlan,
+    merge_flow_to_tree,
+    solve_min_max_load,
+)
+from .core import (
+    BernoulliLoss,
+    OnlinePollingScheduler,
+    OnlineResult,
+    PairingRules,
+    PollingSchedule,
+    RequestPool,
+    SectorPartition,
+    optimal_makespan,
+    partition_into_sectors,
+    plan_ack_collection,
+    solve_optimal,
+)
+from .interference import (
+    CompatibilityOracle,
+    PhysicalModelOracle,
+    ProtocolModelOracle,
+    TabulatedOracle,
+    probe_groups,
+)
+from .sim import RngStreams, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HEAD",
+    "Cluster",
+    "Deployment",
+    "uniform_square",
+    "line",
+    "build_tsrf",
+    "RoutingPlan",
+    "FlowSolution",
+    "solve_min_max_load",
+    "RelayTree",
+    "merge_flow_to_tree",
+    "PathRotator",
+    "OnlinePollingScheduler",
+    "OnlineResult",
+    "PollingSchedule",
+    "RequestPool",
+    "BernoulliLoss",
+    "solve_optimal",
+    "optimal_makespan",
+    "SectorPartition",
+    "partition_into_sectors",
+    "PairingRules",
+    "plan_ack_collection",
+    "CompatibilityOracle",
+    "TabulatedOracle",
+    "ProtocolModelOracle",
+    "PhysicalModelOracle",
+    "probe_groups",
+    "Simulator",
+    "RngStreams",
+    "__version__",
+]

@@ -1,0 +1,56 @@
+"""Command-line entry point: ``python -m repro <experiment> [options]``.
+
+Dispatches to the figure-regeneration modules so a user can reproduce any
+paper artifact without writing code::
+
+    python -m repro fig2
+    python -m repro fig7a
+    python -m repro all          # everything except the slow DES sweeps
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+EXPERIMENTS = {
+    "fig2": ("worked multi-hop polling example (2 vs 3 slots)", "repro.experiments.fig2"),
+    "fig4": ("TSRFP <-> Hamiltonian Path gadget", "repro.experiments.fig4"),
+    "fig6": ("CPAR <- Partition gadget", "repro.experiments.fig6"),
+    "fig7a": ("% active time vs cluster size x rate [minutes]", "repro.experiments.fig7a"),
+    "fig7b": ("throughput: polling vs S-MAC+AODV [minutes]", "repro.experiments.fig7b"),
+    "fig7c": ("lifetime ratio with sectors", "repro.experiments.fig7c"),
+    "ablations": ("design-choice ablation suite", "repro.experiments.ablations"),
+}
+
+FAST = ("fig2", "fig4", "fig6", "fig7c")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's evaluation artifacts.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all", "list"],
+        help="which artifact to regenerate ('all' runs the fast ones)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        width = max(len(k) for k in EXPERIMENTS)
+        for name, (desc, _) in EXPERIMENTS.items():
+            print(f"  {name.ljust(width)}  {desc}")
+        return 0
+
+    targets = FAST if args.experiment == "all" else (args.experiment,)
+    for name in targets:
+        module = __import__(EXPERIMENTS[name][1], fromlist=["main"])
+        module.main()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Joint Multi-Hop Routing and Polling (JMHRP, paper Sec. III-E).
+
+Jointly choosing relaying paths *and* the schedule to minimize the maximum
+power consumption rate  r(v) = c1 * load(v) + c2 * T_polling  is NP-hard
+(it subsumes TSRFP).  The paper's answer — and ours — is decomposition:
+solve routing (min-max load) then scheduling (greedy) separately.
+
+This module provides both:
+
+* :func:`decomposed_jmhrp` — the paper's two-phase pipeline, returning the
+  achieved max power rate;
+* :func:`exact_jmhrp` — brute force over per-sensor simple-path choices ×
+  exact optimal scheduling, for tiny clusters, so benchmarks can measure the
+  decomposition gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from ..interference.base import CompatibilityOracle
+from ..routing.minmax import solve_min_max_load
+from ..routing.paths import RelayingPath, RoutingPlan
+from ..topology.cluster import HEAD, Cluster
+from .online import OnlinePollingScheduler
+from .optimal import solve_optimal
+
+__all__ = ["JmhrpResult", "power_rate", "decomposed_jmhrp", "exact_jmhrp", "all_simple_paths_to_head"]
+
+
+@dataclass
+class JmhrpResult:
+    plan: RoutingPlan
+    polling_time: int
+    max_load: int
+    max_power_rate: float
+
+
+def power_rate(load: int, polling_time: int, c1: float, c2: float) -> float:
+    """The paper's linear power consumption rate model r = c1*l + c2*T."""
+    return c1 * load + c2 * polling_time
+
+
+def _rate_of(plan: RoutingPlan, polling_time: int, c1: float, c2: float) -> float:
+    loads = plan.loads()
+    max_load = int(loads.max()) if loads.size else 0
+    return power_rate(max_load, polling_time, c1, c2)
+
+
+def decomposed_jmhrp(
+    cluster: Cluster,
+    oracle: CompatibilityOracle,
+    c1: float = 1.0,
+    c2: float = 1.0,
+) -> JmhrpResult:
+    """Route for min-max load, then schedule greedily (the paper's approach)."""
+    solution = solve_min_max_load(cluster)
+    plan = solution.routing_plan()
+    result = OnlinePollingScheduler.poll(plan, oracle)
+    loads = plan.loads()
+    return JmhrpResult(
+        plan=plan,
+        polling_time=result.makespan,
+        max_load=int(loads.max()) if loads.size else 0,
+        max_power_rate=_rate_of(plan, result.makespan, c1, c2),
+    )
+
+
+def all_simple_paths_to_head(
+    cluster: Cluster, sensor: int, max_hops: int = 4
+) -> list[RelayingPath]:
+    """Every simple relaying path from *sensor* to the head up to *max_hops*."""
+    out: list[RelayingPath] = []
+
+    def extend(node: int, path: list[int]) -> None:
+        if len(path) - 1 >= max_hops:
+            return
+        if cluster.head_hears[node]:
+            out.append(tuple(path) + (HEAD,))
+        for nxt in range(cluster.n_sensors):
+            if nxt not in path and cluster.hears[nxt, node]:
+                extend(nxt, path + [nxt])
+
+    extend(sensor, [sensor])
+    return sorted(out, key=lambda p: (len(p), p))
+
+
+def exact_jmhrp(
+    cluster: Cluster,
+    oracle: CompatibilityOracle,
+    c1: float = 1.0,
+    c2: float = 1.0,
+    max_hops: int = 3,
+    max_combinations: int = 20_000,
+) -> JmhrpResult:
+    """Brute-force the routing × scheduling product (tiny clusters only)."""
+    senders = [
+        s for s in range(cluster.n_sensors) if cluster.packets[s] > 0
+    ]
+    choices = [all_simple_paths_to_head(cluster, s, max_hops=max_hops) for s in senders]
+    for s, c in zip(senders, choices):
+        if not c:
+            raise ValueError(f"sensor {s} has no path to the head within {max_hops} hops")
+    n_comb = 1
+    for c in choices:
+        n_comb *= len(c)
+    if n_comb > max_combinations:
+        raise ValueError(
+            f"{n_comb} routing combinations exceed the cap of {max_combinations}"
+        )
+    best: JmhrpResult | None = None
+    for combo in product(*choices):
+        plan = RoutingPlan(
+            cluster=cluster, paths={s: p for s, p in zip(senders, combo)}
+        )
+        opt = solve_optimal(plan, oracle)
+        rate = _rate_of(plan, opt.makespan, c1, c2)
+        if best is None or rate < best.max_power_rate:
+            loads = plan.loads()
+            best = JmhrpResult(
+                plan=plan,
+                polling_time=opt.makespan,
+                max_load=int(loads.max()) if loads.size else 0,
+                max_power_rate=rate,
+            )
+    assert best is not None
+    return best

@@ -1,0 +1,309 @@
+"""The on-line greedy polling algorithm (paper Table 1, Sec. III-D).
+
+Before each time slot the head extends the schedule for *that slot only*:
+it scans the active requests in a predetermined order and adds a request if,
+started at this slot, its whole no-delay pipeline causes no contention with
+the transmissions already reserved — where contention means either a node
+being used twice in a slot or a slot group failing the compatibility oracle.
+At most M transmissions share a slot, because the head only probed groups of
+size ≤ M.
+
+Packet loss: the head knows exactly which slot each packet should arrive in
+(it fixed the start slot and knows the hop count), so a missing packet is
+detected at its expected arrival slot and its request simply becomes active
+again — new polls for old packets arrive while polling is still going on,
+which is why the algorithm must be on-line.
+
+Complexity: per slot the scan is O(R · h · M) oracle/occupancy work for R
+requests of hop count ≤ h — linear in input size for fixed M, as the paper
+notes (the exponential term is in the *probing*, not the scheduling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..interference.base import CompatibilityOracle
+from ..routing.paths import RoutingPlan
+from ..sim.rng import RngStreams
+from ..topology.cluster import HEAD
+from .requests import PollRequest, RequestPool, RequestState
+from .schedule import PollingSchedule
+from .transmissions import Transmission
+
+__all__ = ["LossModel", "BernoulliLoss", "NoLoss", "OnlinePollingScheduler", "OnlineResult"]
+
+
+class LossModel:
+    """Decides whether a given hop transmission fails."""
+
+    def fails(self, request: PollRequest, hop_index: int, slot: int) -> bool:
+        raise NotImplementedError
+
+
+class NoLoss(LossModel):
+    """The ideal channel: every hop succeeds."""
+
+    def fails(self, request: PollRequest, hop_index: int, slot: int) -> bool:
+        return False
+
+
+class BernoulliLoss(LossModel):
+    """Independent per-hop loss with probability *p*, deterministic per seed.
+
+    The decision depends on (request, attempt, hop) so re-polls of the same
+    packet redraw fresh randomness, exactly like retransmissions on a real
+    channel.
+    """
+
+    def __init__(self, p: float, seed: int = 0):
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"loss probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = RngStreams(seed).get("loss")
+
+    def fails(self, request: PollRequest, hop_index: int, slot: int) -> bool:
+        if self.p == 0.0:
+            return False
+        return bool(self._rng.random() < self.p)
+
+
+@dataclass
+class OnlineResult:
+    """Everything the experiments need from one polling run."""
+
+    schedule: PollingSchedule
+    pool: RequestPool
+    makespan: int
+    total_attempts: int
+    slots_elapsed: int
+
+    @property
+    def retransmissions(self) -> int:
+        return self.total_attempts - len(self.pool.requests)
+
+
+class OnlinePollingScheduler:
+    """Runs Table 1 to completion over a routing plan.
+
+    Parameters
+    ----------
+    plan:
+        the duty cycle's routing (fixed path per sensor).
+    oracle:
+        compatibility oracle; its ``max_group_size`` is the paper's M and
+        caps per-slot concurrency.
+    loss:
+        optional loss model; lost packets are re-polled.
+    order:
+        request scan order (see :class:`RequestPool`).
+    max_slots:
+        safety valve — raises if polling hasn't finished by then (prevents
+        infinite loops under pathological loss).
+    """
+
+    def __init__(
+        self,
+        plan: RoutingPlan,
+        oracle: CompatibilityOracle,
+        loss: LossModel | None = None,
+        order: str = "index",
+        max_slots: int = 1_000_000,
+        retry_limit: int | None = None,
+    ):
+        self.plan = plan
+        self.oracle = oracle
+        self.loss = loss or NoLoss()
+        self.pool = RequestPool(plan, order=order)
+        self.max_slots = max_slots
+        self.retry_limit = retry_limit
+        self.failed: set[int] = set()
+        self.schedule = PollingSchedule()
+        # Per-request progress of the current attempt: request_id -> the
+        # farthest hop that actually carries the packet (loss truncates it).
+        self._attempt_ok_until: dict[int, int] = {}
+        # Hot-path bookkeeping (semantics-neutral): the scan list of active
+        # requests in pool order, per-slot occupied-node sets, and the count
+        # of not-yet-delivered requests.
+        self._scan_order = {r.request_id: i for i, r in enumerate(self.pool.requests)}
+        self._active_list: list[PollRequest] = list(self.pool.requests)
+        self._in_flight: list[PollRequest] = []
+        self._occupied: dict[int, set[int]] = {}
+        self._undelivered = len(self.pool.requests)
+        # Verify every link is usable at all, otherwise polling can never end.
+        for req in self.pool:
+            for a, b in zip(req.path, req.path[1:]):
+                if not oracle.single_link_ok((a, b)):
+                    raise ValueError(
+                        f"hop {a}->{b} of sensor {req.sensor}'s path never "
+                        "decodes even alone; routing must avoid it"
+                    )
+
+    # -- the algorithm ----------------------------------------------------------
+
+    def run(self) -> OnlineResult:
+        """Execute slot by slot until every request is deleted."""
+        t = 0
+        while self._undelivered > 0:
+            if t >= self.max_slots:
+                raise RuntimeError(
+                    f"polling did not finish within {self.max_slots} slots"
+                )
+            self._process_arrivals(t)
+            self._fill_slot(t)
+            t += 1
+        return OnlineResult(
+            schedule=self.schedule,
+            pool=self.pool,
+            makespan=self.schedule.makespan(),
+            total_attempts=self.pool.total_attempts(),
+            slots_elapsed=t,
+        )
+
+    # -- external (simulator-driven) stepping -------------------------------------
+    #
+    # The DES polling MAC drives the same algorithm slot by slot, with real
+    # PHY deliveries instead of the internal loss model: before slot t it
+    # reports which request ids arrived during slot t-1, and receives the
+    # slot-t transmission group to announce in the poll message.
+
+    def external_step(self, t: int, delivered_now: set[int]) -> list[Transmission]:
+        """Advance to slot *t* given the head's observed arrivals at t-1."""
+        for req in self._take_arrivals(t - 1):
+            if req.request_id in delivered_now:
+                req.mark_delivered()
+                self.schedule.delivered[req.request_id] = t - 1
+                self._undelivered -= 1
+            else:
+                self._lose(req)
+        self._fill_slot(t, draw_loss=False)
+        return self.schedule.group_at(t)
+
+    def _lose(self, req: PollRequest) -> None:
+        """Re-activate a lost request, or give it up past the retry limit.
+
+        A real head cannot re-poll forever (a dead sensor would stall the
+        whole duty cycle); past the limit the packet is abandoned and
+        reported in ``failed``.
+        """
+        if self.retry_limit is not None and req.attempts >= self.retry_limit:
+            req.state = RequestState.DELETED
+            self.failed.add(req.request_id)
+            self._undelivered -= 1
+        else:
+            req.mark_lost()
+            self._reinsert_active(req)
+
+    def _reinsert_active(self, req: PollRequest) -> None:
+        """Put a reactivated request back into the scan list, keeping the
+        predetermined order (insertion by scan index)."""
+        import bisect
+
+        keys = [self._scan_order[r.request_id] for r in self._active_list]
+        pos = bisect.bisect_left(keys, self._scan_order[req.request_id])
+        self._active_list.insert(pos, req)
+
+    @property
+    def all_done(self) -> bool:
+        return self._undelivered == 0
+
+    def expected_arrivals(self, t: int) -> list[PollRequest]:
+        """Requests whose packet should reach the head during slot *t*."""
+        return [r for r in self.pool.idle() if r.arrival_slot() == t]
+
+    def _process_arrivals(self, t: int) -> None:
+        """Resolve requests whose expected arrival slot has just completed."""
+        for req in self._take_arrivals(t - 1):
+            if self._attempt_ok_until[req.request_id] >= req.hop_count:
+                req.mark_delivered()
+                self.schedule.delivered[req.request_id] = t - 1
+                self._undelivered -= 1
+            else:
+                self._lose(req)
+
+    def _take_arrivals(self, slot: int) -> list["PollRequest"]:
+        """Pop in-flight requests whose expected arrival slot is *slot*."""
+        due = [r for r in self._in_flight if r.arrival_slot() == slot]
+        if due:
+            due_ids = set(id(r) for r in due)
+            self._in_flight = [r for r in self._in_flight if id(r) not in due_ids]
+        return due
+
+    def _fill_slot(self, t: int, draw_loss: bool = True) -> None:
+        """Greedy insertion for slot *t* (the paper's inner while loop)."""
+        m = self.oracle.max_group_size
+        inserted: list[PollRequest] = []
+        for req in self._active_list:
+            if len(self.schedule.group_at(t)) >= m:
+                break
+            if self._fits(req, t):
+                self._insert(req, t, draw_loss=draw_loss)
+                inserted.append(req)
+        if inserted:
+            taken = set(id(r) for r in inserted)
+            self._active_list = [r for r in self._active_list if id(r) not in taken]
+
+    def _fits(self, req: PollRequest, t: int) -> bool:
+        """Can *req*, started at slot *t*, join the reserved schedule?"""
+        m = self.oracle.max_group_size
+        path = req.path
+        # Pass 1: cheap structural checks (O(1) occupied-node sets).
+        for k in range(req.hop_count):
+            occ = self._occupied.get(t + k)
+            if occ is not None:
+                if len(occ) >= 2 * m:  # slot already holds m transmissions
+                    return False
+                if path[k] in occ or path[k + 1] in occ:
+                    return False
+        # Pass 2: radio compatibility of each extended slot group.
+        for k in range(req.hop_count):
+            group = self.schedule.group_at(t + k)
+            if group:
+                links = [tx.link for tx in group]
+                links.append((path[k], path[k + 1]))
+                if not self.oracle.compatible(links):
+                    return False
+            elif not self.oracle.compatible([(path[k], path[k + 1])]):
+                return False
+        return True
+
+    def _insert(self, req: PollRequest, t: int, draw_loss: bool = True) -> None:
+        req.mark_scheduled(t)
+        self._in_flight.append(req)
+        # Draw loss lazily per hop now so progress is fixed for this attempt.
+        ok_until = 0
+        lost = False
+        for k in range(req.hop_count):
+            self.schedule.add(
+                t + k,
+                Transmission(
+                    sender=req.path[k],
+                    receiver=req.path[k + 1],
+                    request_id=req.request_id,
+                    hop_index=k,
+                ),
+            )
+            occ = self._occupied.setdefault(t + k, set())
+            occ.add(req.path[k])
+            occ.add(req.path[k + 1])
+            if draw_loss and not lost:
+                if self.loss.fails(req, k, t + k):
+                    lost = True
+                else:
+                    ok_until = k + 1
+        if draw_loss:
+            self._attempt_ok_until[req.request_id] = ok_until
+
+    # -- convenience --------------------------------------------------------------
+
+    @classmethod
+    def poll(
+        cls,
+        plan: RoutingPlan,
+        oracle: CompatibilityOracle,
+        loss: LossModel | None = None,
+        order: str = "index",
+    ) -> OnlineResult:
+        """One-shot: build a scheduler and run it."""
+        return cls(plan, oracle, loss=loss, order=order).run()

@@ -1,0 +1,253 @@
+"""The polling schedule: per-slot transmission groups plus validation.
+
+A :class:`PollingSchedule` records which transmissions the head ordered in
+each slot and which packets were actually delivered (loss can make a
+reserved slot carry nothing).  ``validate`` checks every property the paper
+requires of a legal schedule:
+
+* pipelining — hop *j* of an attempt occurs exactly *j* slots after hop 0
+  (no-delay mode, the default per Thm. 2) or in increasing slots (delayed);
+* structural — every node in at most one transmission per slot;
+* radio — every slot's group is compatible per the oracle;
+* completeness — every request is delivered exactly once.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..interference.base import CompatibilityOracle
+from ..topology.cluster import HEAD, node_name
+from .requests import PollRequest
+from .transmissions import Transmission, structurally_ok
+
+__all__ = ["PollingSchedule", "ScheduleInvalid"]
+
+
+class ScheduleInvalid(ValueError):
+    """Raised by :meth:`PollingSchedule.validate` with a specific reason."""
+
+
+@dataclass
+class PollingSchedule:
+    """An (evolving or final) multi-hop polling schedule.
+
+    ``slots[t]`` is the ordered list of transmissions in slot *t*.
+    ``delivered[request_id]`` is the slot the head received that packet in
+    (assigned by the scheduler / simulator as deliveries happen).
+    """
+
+    slots: list[list[Transmission]] = field(default_factory=list)
+    delivered: dict[int, int] = field(default_factory=dict)
+
+    # -- building --------------------------------------------------------------
+
+    def _ensure_slot(self, t: int) -> None:
+        while len(self.slots) <= t:
+            self.slots.append([])
+
+    def add(self, t: int, tx: Transmission) -> None:
+        """Append a transmission to slot *t* (no validation — the scheduler
+        is responsible for only adding legal groups; validate() re-checks)."""
+        if t < 0:
+            raise ValueError(f"slot must be non-negative, got {t}")
+        self._ensure_slot(t)
+        self.slots[t].append(tx)
+
+    def group_at(self, t: int) -> list[Transmission]:
+        return self.slots[t] if t < len(self.slots) else []
+
+    def node_busy(self, t: int, node: int) -> bool:
+        return any(tx.sender == node or tx.receiver == node for tx in self.group_at(t))
+
+    # -- measurements ----------------------------------------------------------
+
+    @property
+    def n_slots(self) -> int:
+        """Number of slots the schedule occupies (trailing empties trimmed)."""
+        n = len(self.slots)
+        while n > 0 and not self.slots[n - 1]:
+            n -= 1
+        return n
+
+    def makespan(self) -> int:
+        """Slots until the last delivery (the paper's 'polling time')."""
+        if not self.delivered:
+            return self.n_slots
+        return max(self.delivered.values()) + 1
+
+    def transmissions_total(self) -> int:
+        return sum(len(g) for g in self.slots)
+
+    def concurrency_profile(self) -> list[int]:
+        """Group size per slot — ablations plot this against M."""
+        return [len(g) for g in self.slots[: self.n_slots]]
+
+    def last_slot_of_node(self, node: int) -> int | None:
+        """Last slot *node* participates in, or None if it never does.
+
+        This is when the sensor could go to sleep if it were told the future
+        — the quantity sectoring approximates (Sec. IV).
+        """
+        last = None
+        for t in range(self.n_slots):
+            if self.node_busy(t, node):
+                last = t
+        return last
+
+    # -- validation --------------------------------------------------------------
+
+    def validate(
+        self,
+        requests: list[PollRequest],
+        oracle: CompatibilityOracle | None = None,
+        allow_delay: bool = False,
+        require_all_delivered: bool = True,
+    ) -> None:
+        """Raise :class:`ScheduleInvalid` unless the schedule is legal.
+
+        When *oracle* enforces a group-size limit M smaller than some slot's
+        group, compatibility of that slot cannot be fully checked and the
+        slot is rejected — matching the paper's rule that the head never
+        schedules more concurrency than it has probed.
+        """
+        # Structural per-slot checks.
+        for t, group in enumerate(self.slots):
+            if not structurally_ok(group):
+                raise ScheduleInvalid(f"slot {t}: node used twice in {self._fmt(t)}")
+            if oracle is not None and group:
+                if len(group) > oracle.max_group_size:
+                    raise ScheduleInvalid(
+                        f"slot {t}: {len(group)} concurrent transmissions exceed "
+                        f"the probed group size M={oracle.max_group_size}"
+                    )
+                if not oracle.compatible([tx.link for tx in group]):
+                    raise ScheduleInvalid(
+                        f"slot {t}: incompatible group {self._fmt(t)}"
+                    )
+        # Per-request pipeline checks.
+        by_request: dict[int, list[tuple[int, Transmission]]] = defaultdict(list)
+        for t, group in enumerate(self.slots):
+            for tx in group:
+                by_request[tx.request_id].append((t, tx))
+        for req in requests:
+            placed = sorted(by_request.get(req.request_id, []))
+            if not placed:
+                if require_all_delivered:
+                    raise ScheduleInvalid(f"request {req.request_id} never scheduled")
+                continue
+            self._check_pipeline(req, placed, allow_delay)
+            if require_all_delivered and req.request_id not in self.delivered:
+                raise ScheduleInvalid(f"request {req.request_id} never delivered")
+        # Deliveries must match final hops.
+        for rid, t_arr in self.delivered.items():
+            placed = by_request.get(rid, [])
+            finals = [
+                (t, tx) for t, tx in placed if tx.receiver == HEAD and t == t_arr
+            ]
+            if not finals:
+                raise ScheduleInvalid(
+                    f"request {rid} marked delivered at slot {t_arr} but no "
+                    "final hop to the head is scheduled there"
+                )
+
+    def _check_pipeline(
+        self,
+        req: PollRequest,
+        placed: list[tuple[int, Transmission]],
+        allow_delay: bool,
+    ) -> None:
+        """One request's hops must walk its path in order (retries = repeats
+        of the full pipeline starting again from hop 0)."""
+        path = req.path
+        # Split into attempts: a new attempt starts whenever hop_index == 0.
+        attempts: list[list[tuple[int, Transmission]]] = []
+        for t, tx in placed:
+            if tx.hop_index == 0:
+                attempts.append([])
+            if not attempts:
+                raise ScheduleInvalid(
+                    f"request {req.request_id}: hop {tx.hop_index} appears "
+                    "before any hop 0"
+                )
+            attempts[-1].append((t, tx))
+        for attempt in attempts:
+            prev_t = None
+            for k, (t, tx) in enumerate(attempt):
+                if tx.hop_index != k:
+                    raise ScheduleInvalid(
+                        f"request {req.request_id}: expected hop {k}, "
+                        f"found hop {tx.hop_index} at slot {t}"
+                    )
+                if (tx.sender, tx.receiver) != (path[k], path[k + 1]):
+                    raise ScheduleInvalid(
+                        f"request {req.request_id}: hop {k} is "
+                        f"{node_name(tx.sender)}->{node_name(tx.receiver)}, "
+                        f"path says {node_name(path[k])}->{node_name(path[k + 1])}"
+                    )
+                if prev_t is not None:
+                    if allow_delay:
+                        if t <= prev_t:
+                            raise ScheduleInvalid(
+                                f"request {req.request_id}: hop {k} at slot {t} "
+                                f"not after hop {k - 1} at slot {prev_t}"
+                            )
+                    elif t != prev_t + 1:
+                        raise ScheduleInvalid(
+                            f"request {req.request_id}: no-delay violated — hop "
+                            f"{k} at slot {t}, hop {k - 1} at slot {prev_t}"
+                        )
+                prev_t = t
+
+    # -- display -----------------------------------------------------------------
+
+    def _fmt(self, t: int) -> str:
+        return ", ".join(str(tx) for tx in self.group_at(t))
+
+    def describe(self) -> str:
+        """Human-readable table like the paper's Fig. 2(b) / Fig. 4(c)."""
+        lines = []
+        for t in range(self.n_slots):
+            lines.append(f"slot {t + 1}: {self._fmt(t) or '(idle)'}")
+        if self.delivered:
+            order = sorted(self.delivered.items(), key=lambda kv: kv[1])
+            arrivals = ", ".join(f"req{rid}@{t + 1}" for rid, t in order)
+            lines.append(f"deliveries: {arrivals}")
+        return "\n".join(lines)
+
+    def gantt(self) -> str:
+        """ASCII per-node timeline, one row per participating node.
+
+        Cell glyphs: ``T`` transmitting, ``R`` receiving, ``.`` idle —
+        the slot-level picture the paper draws in Fig. 2(b)/4(c), rendered
+        for any schedule size.
+        """
+        n_slots = self.n_slots
+        nodes: set[int] = set()
+        for group in self.slots[:n_slots]:
+            for tx in group:
+                nodes.add(tx.sender)
+                nodes.add(tx.receiver)
+        if not nodes:
+            return "(empty schedule)"
+        rows = []
+        # Head last; sensors ascending.
+        ordered = sorted(nodes - {HEAD}) + ([HEAD] if HEAD in nodes else [])
+        label_w = max(len(node_name(v)) for v in ordered)
+        header = " " * (label_w + 2) + "".join(
+            f"{t + 1:<3d}" for t in range(n_slots)
+        )
+        rows.append(header)
+        for v in ordered:
+            cells = []
+            for t in range(n_slots):
+                glyph = "."
+                for tx in self.group_at(t):
+                    if tx.sender == v:
+                        glyph = "T"
+                    elif tx.receiver == v:
+                        glyph = "R"
+                cells.append(f"{glyph:<3}")
+            rows.append(f"{node_name(v):<{label_w}}  " + "".join(cells))
+        return "\n".join(rows)

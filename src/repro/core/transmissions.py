@@ -1,0 +1,75 @@
+"""Transmissions and per-slot groups.
+
+A :class:`Transmission` is one hop of one packet in one time slot: *sender*
+forwards request *request_id*'s packet to *receiver*.  A slot's transmission
+group must satisfy two orthogonal kinds of constraint:
+
+* **structural** — every node (head included) participates in at most one
+  transmission per slot, because sensors are half-duplex single-radio
+  devices ("sensors are simple and cannot receive and send at the same
+  time", Sec. IV-B);
+* **radio** — the group must be compatible per the interference oracle.
+
+This module owns the structural side; oracles own the radio side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..interference.base import Link
+from ..topology.cluster import node_name
+
+__all__ = ["Transmission", "occupied_nodes", "structurally_ok", "links_of"]
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """One scheduled hop: ``sender -> receiver`` carrying ``request_id``.
+
+    ``hop_index`` is the position along the request's relaying path
+    (0 = the originating sensor's own send).
+    """
+
+    sender: int
+    receiver: int
+    request_id: int
+    hop_index: int
+
+    @property
+    def link(self) -> Link:
+        return (self.sender, self.receiver)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{node_name(self.sender)}->{node_name(self.receiver)}"
+            f"[req{self.request_id}.h{self.hop_index}]"
+        )
+
+
+def occupied_nodes(group: Iterable[Transmission]) -> set[int]:
+    """All nodes participating in the group (senders and receivers)."""
+    nodes: set[int] = set()
+    for tx in group:
+        nodes.add(tx.sender)
+        nodes.add(tx.receiver)
+    return nodes
+
+
+def structurally_ok(group: Sequence[Transmission]) -> bool:
+    """No node appears twice across the group (half-duplex, single radio)."""
+    seen: set[int] = set()
+    for tx in group:
+        if tx.sender == tx.receiver:
+            return False
+        if tx.sender in seen or tx.receiver in seen:
+            return False
+        seen.add(tx.sender)
+        seen.add(tx.receiver)
+    return True
+
+
+def links_of(group: Sequence[Transmission]) -> list[Link]:
+    """The (sender, receiver) pairs of a group, for oracle queries."""
+    return [tx.link for tx in group]

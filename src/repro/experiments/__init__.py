@@ -1,0 +1,17 @@
+"""Paper figure regeneration harness — one module per figure + ablations.
+
+Run any figure directly::
+
+    python -m repro.experiments.fig2
+    python -m repro.experiments.fig4
+    python -m repro.experiments.fig6
+    python -m repro.experiments.fig7a
+    python -m repro.experiments.fig7b
+    python -m repro.experiments.fig7c
+    python -m repro.experiments.ablations
+
+Submodules are intentionally *not* imported eagerly so ``python -m`` works
+without double-import warnings; import the one you need explicitly.
+"""
+
+__all__ = ["common", "fig2", "fig4", "fig6", "fig7a", "fig7b", "fig7c", "ablations"]

@@ -1,0 +1,51 @@
+"""Shared experiment plumbing: row tables and series printers.
+
+Every ``repro.experiments.figX`` module exposes ``run(...) -> list[dict]``
+(the figure's data points) and ``main()`` (prints the table the way the
+paper's figure would read).  Benchmarks call ``run``; humans call the
+module (``python -m repro.experiments.fig7a``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = ["format_table", "print_table", "series_from_rows"]
+
+
+def format_table(rows: list[dict[str, Any]], columns: list[str] | None = None) -> str:
+    """Plain-text table; columns default to the first row's keys."""
+    if not rows:
+        return "(no data)"
+    cols = columns or list(rows[0].keys())
+    rendered: list[list[str]] = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in rendered)) for i, c in enumerate(cols)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(v.ljust(w) for v, w in zip(row, widths)) for row in rendered)
+    return f"{header}\n{sep}\n{body}"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def print_table(title: str, rows: list[dict[str, Any]], columns: list[str] | None = None) -> None:
+    print(f"\n== {title} ==")
+    print(format_table(rows, columns))
+
+
+def series_from_rows(
+    rows: Iterable[dict[str, Any]], x: str, y: str, group: str
+) -> dict[Any, list[tuple[Any, Any]]]:
+    """Pivot rows into {group_value: [(x, y), ...]} series (figure lines)."""
+    out: dict[Any, list[tuple[Any, Any]]] = {}
+    for r in rows:
+        out.setdefault(r[group], []).append((r[x], r[y]))
+    for series in out.values():
+        series.sort()
+    return out

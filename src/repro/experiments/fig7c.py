@@ -1,0 +1,60 @@
+"""Fig. 7(c) — lifetime ratio of a sectored vs unsectored cluster.
+
+Cluster sizes 10..50; every sensor has one packet per cycle; both variants
+sustain 100% throughput.  The paper reports a ratio that is always above 1
+and grows with cluster size (~1.55 at 10 sensors to ~2.05 at 50): larger
+clusters split into more sectors, so each sensor's awake share shrinks
+more.  Our absolute ratios depend on the energy constants (documented in
+EXPERIMENTS.md); the monotone >1 shape is the reproduced claim.
+"""
+
+from __future__ import annotations
+
+from ..metrics.lifetime import EnergyRateModel, evaluate_lifetime_ratio
+from .common import print_table
+
+__all__ = ["DEFAULT_SIZES_SWEEP", "run", "run_point", "main"]
+
+DEFAULT_SIZES_SWEEP = (10, 15, 20, 25, 30, 35, 40, 45, 50)
+
+
+def run_point(
+    n_sensors: int,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    model: EnergyRateModel = EnergyRateModel(),
+    **overrides,
+) -> dict:
+    ratios = []
+    n_sectors = []
+    for seed in seeds:
+        result = evaluate_lifetime_ratio(
+            n_sensors=n_sensors, seed=seed, model=model, **overrides
+        )
+        ratios.append(result.lifetime_ratio)
+        n_sectors.append(result.n_sectors)
+    return {
+        "n_sensors": n_sensors,
+        "lifetime_ratio": sum(ratios) / len(ratios),
+        "mean_sectors": sum(n_sectors) / len(n_sectors),
+    }
+
+
+def run(
+    sizes: tuple[int, ...] = DEFAULT_SIZES_SWEEP,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    model: EnergyRateModel = EnergyRateModel(),
+    **overrides,
+) -> list[dict]:
+    return [run_point(n, seeds=seeds, model=model, **overrides) for n in sizes]
+
+
+def main() -> None:
+    rows = run()
+    print_table(
+        "Fig. 7(c) — lifetime ratio, sectored vs unsectored (paper: ~1.55 -> ~2.05)",
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    main()

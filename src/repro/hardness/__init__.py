@@ -1,0 +1,55 @@
+"""Executable NP-hardness reductions (Lemma 1, Thms. 1-5)."""
+
+from .cpar import (
+    CparInstance,
+    brute_force_min_pseudo_rate,
+    cpar_from_partition,
+    cpar_threshold,
+    sectors_from_subsets,
+    subsets_from_sectors,
+)
+from .hamiltonian import (
+    find_hamiltonian_path,
+    has_hamiltonian_path,
+    is_hamiltonian_path,
+    random_graph,
+)
+from .partition import find_partition, has_partition, is_partition
+from .tsrfp import (
+    TsrfpInstance,
+    hamiltonian_path_from_schedule,
+    physical_oracle_for_graph,
+    schedule_from_hamiltonian_path,
+    tsrfp_from_graph,
+)
+from .x1mhp import (
+    X1mhpInstance,
+    canonical_x1mhp_schedule,
+    x1mhp_deadline,
+    x1mhp_from_graph,
+)
+
+__all__ = [
+    "has_hamiltonian_path",
+    "find_hamiltonian_path",
+    "is_hamiltonian_path",
+    "random_graph",
+    "has_partition",
+    "find_partition",
+    "is_partition",
+    "TsrfpInstance",
+    "tsrfp_from_graph",
+    "schedule_from_hamiltonian_path",
+    "hamiltonian_path_from_schedule",
+    "physical_oracle_for_graph",
+    "X1mhpInstance",
+    "x1mhp_from_graph",
+    "x1mhp_deadline",
+    "canonical_x1mhp_schedule",
+    "CparInstance",
+    "cpar_from_partition",
+    "cpar_threshold",
+    "sectors_from_subsets",
+    "subsets_from_sectors",
+    "brute_force_min_pseudo_rate",
+]

@@ -1,0 +1,162 @@
+"""The CPAR gadget (paper Thm. 5, Fig. 6): Partition -> cluster partition.
+
+Given positive integers a_1..a_m, build a cluster with two head-adjacent
+sensors S1, S2 and, per integer a_i, a chain ("branch") of a_i sensors
+whose first element connects to *both* S1 and S2.  Every sensor has one
+packet.  Since only S1 and S2 reach the head, at most two sectors exist and
+each must contain one of them; a sector {S1} + branches of total weight W
+gives S1 load 1+W and sector size 1+W, hence (with c1 = c2 = 1) pseudo rate
+2(1+W).  Therefore max pseudo rate <= B := A + 2 (A = sum a_i) is
+achievable **iff** the integers split into two equal-sum halves — the
+Partition problem.
+
+Both certificate directions are implemented: an equal-sum split becomes a
+two-sector partition meeting the threshold, and any sector partition
+meeting the threshold yields an equal-sum split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from ..core.sectors import Sector, SectorPartition
+from ..topology.cluster import HEAD, Cluster
+
+__all__ = [
+    "CparInstance",
+    "cpar_from_partition",
+    "cpar_threshold",
+    "sectors_from_subsets",
+    "subsets_from_sectors",
+    "brute_force_min_pseudo_rate",
+]
+
+
+def cpar_threshold(values: list[int]) -> float:
+    """B = A + 2: the max pseudo rate of a perfectly balanced split."""
+    return float(sum(values) + 2)
+
+
+@dataclass
+class CparInstance:
+    cluster: Cluster
+    values: list[int]
+    branch_nodes: list[list[int]]  # chain node ids, b_1 first (head-most)
+    threshold: float
+
+    @property
+    def s1(self) -> int:
+        return 0
+
+    @property
+    def s2(self) -> int:
+        return 1
+
+
+def cpar_from_partition(values: list[int]) -> CparInstance:
+    """Build the Fig. 6 cluster for a Partition instance."""
+    if not values:
+        raise ValueError("Partition instance must be non-empty")
+    if any(v <= 0 for v in values):
+        raise ValueError("Partition instances use positive integers")
+    total = 2 + sum(values)
+    hears = np.zeros((total, total), dtype=bool)
+    head_hears = np.zeros(total, dtype=bool)
+    head_hears[0] = head_hears[1] = True
+    branch_nodes: list[list[int]] = []
+    nxt = 2
+    for a in values:
+        chain = list(range(nxt, nxt + a))
+        nxt += a
+        branch_nodes.append(chain)
+        b1 = chain[0]
+        hears[0, b1] = hears[b1, 0] = True  # b_1 <-> S1
+        hears[1, b1] = hears[b1, 1] = True  # b_1 <-> S2
+        for a_node, b_node in zip(chain, chain[1:]):
+            hears[a_node, b_node] = hears[b_node, a_node] = True
+    cluster = Cluster(
+        hears=hears, head_hears=head_hears, packets=np.ones(total, dtype=np.int64)
+    )
+    return CparInstance(
+        cluster=cluster,
+        values=list(values),
+        branch_nodes=branch_nodes,
+        threshold=cpar_threshold(values),
+    )
+
+
+def _sector_for(inst: CparInstance, root: int, branch_idx: list[int]) -> Sector:
+    """Sector = one head-adjacent sensor + whole branches routed through it."""
+    parent: dict[int, int] = {root: HEAD}
+    sensors = [root]
+    for bi in branch_idx:
+        chain = inst.branch_nodes[bi]
+        parent[chain[0]] = root
+        for up, down in zip(chain, chain[1:]):
+            parent[down] = up
+        sensors.extend(chain)
+    return Sector(sensors=sorted(sensors), roots=[root], parent=parent)
+
+
+def sectors_from_subsets(
+    inst: CparInstance, left: list[int], right: list[int]
+) -> SectorPartition:
+    """Certificate: equal-sum split -> the corresponding 2-sector partition."""
+    if sorted(list(left) + list(right)) != list(range(len(inst.values))):
+        raise ValueError("left/right must partition the branch indices")
+    return SectorPartition(
+        cluster=inst.cluster,
+        sectors=[
+            _sector_for(inst, inst.s1, sorted(left)),
+            _sector_for(inst, inst.s2, sorted(right)),
+        ],
+    )
+
+
+def subsets_from_sectors(
+    inst: CparInstance, partition: SectorPartition
+) -> tuple[list[int], list[int]]:
+    """Certificate: a sector partition -> branch index subsets by sector.
+
+    Branches are atomic here (a chain's only way out is through its b_1), so
+    each branch lies wholly in the sector of whichever of S1/S2 it routes
+    through.
+    """
+    if partition.n_sectors != 2:
+        raise ValueError("CPAR gadget partitions have exactly two sectors")
+    left: list[int] = []
+    right: list[int] = []
+    s1_sector = partition.sector_of(inst.s1)
+    for bi, chain in enumerate(inst.branch_nodes):
+        sec = partition.sector_of(chain[0])
+        members = set(partition.sectors[sec].sensors)
+        if not set(chain) <= members:
+            raise ValueError(f"branch {bi} is split across sectors")
+        (left if sec == s1_sector else right).append(bi)
+    return left, right
+
+
+def brute_force_min_pseudo_rate(
+    inst: CparInstance, c1: float = 1.0, c2: float = 1.0
+) -> tuple[float, SectorPartition]:
+    """Try every branch->{S1,S2} assignment; return the best partition.
+
+    Exponential (2^m) — gadget sizes only.  Tests assert the minimum equals
+    the threshold iff the Partition instance is a yes-instance.
+    """
+    m = len(inst.values)
+    best_rate = float("inf")
+    best: SectorPartition | None = None
+    for assignment in product((0, 1), repeat=m):
+        left = [i for i in range(m) if assignment[i] == 0]
+        right = [i for i in range(m) if assignment[i] == 1]
+        partition = sectors_from_subsets(inst, left, right)
+        rate = partition.max_pseudo_rate(c1, c2)
+        if rate < best_rate:
+            best_rate = rate
+            best = partition
+    assert best is not None
+    return best_rate, best

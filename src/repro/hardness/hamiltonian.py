@@ -1,0 +1,86 @@
+"""Exact Hamiltonian-path machinery (the reduction's source problem).
+
+Bitmask dynamic programming: ``reach[mask][v]`` = can the vertex set *mask*
+be traversed by a simple path ending at *v*.  O(2^n * n^2) time — exact for
+the gadget sizes the tests use (n <= ~16).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["has_hamiltonian_path", "find_hamiltonian_path", "is_hamiltonian_path", "random_graph"]
+
+
+def _validate_adjacency(adj: np.ndarray) -> np.ndarray:
+    adj = np.asarray(adj, dtype=bool)
+    n = adj.shape[0]
+    if adj.shape != (n, n):
+        raise ValueError(f"adjacency must be square, got {adj.shape}")
+    if not np.array_equal(adj, adj.T):
+        raise ValueError("Hamiltonian-path instances here are undirected; adjacency must be symmetric")
+    if np.diagonal(adj).any():
+        raise ValueError("no self-loops allowed")
+    return adj
+
+
+def find_hamiltonian_path(adj: np.ndarray) -> list[int] | None:
+    """A Hamiltonian path (any endpoints) as a vertex list, or None."""
+    adj = _validate_adjacency(adj)
+    n = adj.shape[0]
+    if n == 0:
+        return []
+    if n == 1:
+        return [0]
+    full = (1 << n) - 1
+    # parent[mask][v] = predecessor of v on some path covering mask, or -2 if
+    # v starts the path, or -1 if unreachable.
+    parent = [[-1] * n for _ in range(1 << n)]
+    for v in range(n):
+        parent[1 << v][v] = -2
+    for mask in range(1 << n):
+        for v in range(n):
+            if parent[mask][v] == -1 or not (mask >> v) & 1:
+                continue
+            for w in range(n):
+                if (mask >> w) & 1 or not adj[v, w]:
+                    continue
+                nxt = mask | (1 << w)
+                if parent[nxt][w] == -1:
+                    parent[nxt][w] = v
+    for end in range(n):
+        if parent[full][end] != -1:
+            path = [end]
+            mask, v = full, end
+            while parent[mask][v] != -2:
+                p = parent[mask][v]
+                path.append(p)
+                mask ^= 1 << v
+                v = p
+            path.reverse()
+            return path
+    return None
+
+
+def has_hamiltonian_path(adj: np.ndarray) -> bool:
+    """Does the undirected graph contain a Hamiltonian path?"""
+    return find_hamiltonian_path(adj) is not None
+
+
+def is_hamiltonian_path(adj: np.ndarray, path: list[int]) -> bool:
+    """Verify a claimed Hamiltonian path (certificate check)."""
+    adj = _validate_adjacency(adj)
+    n = adj.shape[0]
+    if sorted(path) != list(range(n)):
+        return False
+    return all(adj[a, b] for a, b in zip(path, path[1:]))
+
+
+def random_graph(n: int, edge_prob: float, seed: int = 0) -> np.ndarray:
+    """A random undirected graph for reduction round-trip tests."""
+    if not 0.0 <= edge_prob <= 1.0:
+        raise ValueError(f"edge probability must be in [0,1], got {edge_prob}")
+    rng = np.random.default_rng(seed)
+    upper = rng.random((n, n)) < edge_prob
+    adj = np.triu(upper, k=1)
+    return adj | adj.T

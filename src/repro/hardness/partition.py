@@ -1,0 +1,56 @@
+"""Exact solvers for the Partition problem (source of the CPAR reduction).
+
+Partition: split positive integers a_1..a_k into two subsets of equal sum.
+Solved exactly by subset-sum DP over bitsets — fast far beyond gadget sizes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["has_partition", "find_partition", "is_partition"]
+
+
+def find_partition(values: list[int]) -> tuple[list[int], list[int]] | None:
+    """Index sets of an equal-sum 2-partition, or None.
+
+    Returns ``(left_indices, right_indices)`` partitioning ``range(len(values))``.
+    """
+    if any(v <= 0 for v in values):
+        raise ValueError("Partition instances use positive integers")
+    total = sum(values)
+    if total % 2 == 1:
+        return None
+    target = total // 2
+    # reachable bitset with choice tracking: choice[i] = bitset of sums
+    # reachable after considering items 0..i.
+    n = len(values)
+    masks: list[int] = []
+    reach = 1  # bit s set <=> sum s reachable
+    for v in values:
+        masks.append(reach)
+        reach |= reach << v
+    if not (reach >> target) & 1:
+        return None
+    # Backtrack.
+    left: list[int] = []
+    s = target
+    for i in range(n - 1, -1, -1):
+        before = masks[i]
+        if (before >> s) & 1:
+            continue  # sum s reachable without item i -> leave it out
+        left.append(i)
+        s -= values[i]
+    assert s == 0
+    left.reverse()
+    right = [i for i in range(n) if i not in set(left)]
+    return left, right
+
+
+def has_partition(values: list[int]) -> bool:
+    return find_partition(values) is not None
+
+
+def is_partition(values: list[int], left: list[int], right: list[int]) -> bool:
+    """Certificate check for a claimed equal-sum 2-partition."""
+    if sorted(list(left) + list(right)) != list(range(len(values))):
+        return False
+    return sum(values[i] for i in left) == sum(values[i] for i in right)

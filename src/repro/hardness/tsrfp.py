@@ -1,0 +1,210 @@
+"""The TSRFP <-> Hamiltonian Path reduction, executable (paper Lemma 1).
+
+Given any undirected graph G on vertices v_1..v_n, build a TSRF with one
+branch per vertex and the interference pattern:
+
+* transmissions ``s'_i -> s_i`` and ``s_j -> t`` are compatible **iff**
+  G has the edge (v_i, v_j);
+* two second-level transmissions are never compatible;
+* (two first-level relays to the head share the receiver t and are
+  structurally impossible anyway).
+
+Then a collision-free polling schedule finishing by T = n+1 slots exists
+iff G has a Hamiltonian path, and the two certificates convert into each
+other mechanically — both directions are implemented and property-tested.
+
+The module also *realizes* any such interference pattern with the additive
+SINR physical model (arbitrary per-pair received powers, as the paper
+argues is physically legitimate per ref. [1]), demonstrating the pattern is
+not an artifact of tabulated oracles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..interference.base import Link, TabulatedOracle
+from ..interference.physical import PhysicalModelOracle
+from ..core.requests import RequestPool
+from ..core.schedule import PollingSchedule
+from ..core.transmissions import Transmission
+from ..routing.paths import RoutingPlan
+from ..topology.cluster import HEAD
+from ..topology.tsrf import Tsrf, build_tsrf
+from .hamiltonian import _validate_adjacency
+
+__all__ = [
+    "TsrfpInstance",
+    "tsrfp_from_graph",
+    "schedule_from_hamiltonian_path",
+    "hamiltonian_path_from_schedule",
+    "physical_oracle_for_graph",
+]
+
+
+@dataclass
+class TsrfpInstance:
+    """A TSRFP decision instance: the TSRF, its oracle, and the deadline."""
+
+    tsrf: Tsrf
+    oracle: TabulatedOracle
+    deadline: int  # T = n + 1 slots
+    adjacency: np.ndarray
+
+    @property
+    def n_branches(self) -> int:
+        return self.tsrf.n_branches
+
+    def routing_plan(self) -> RoutingPlan:
+        """The forced relaying paths (one per branch's second-level sensor)."""
+        paths = {
+            self.tsrf.second_level(b): self.tsrf.relaying_path(b)
+            for b in range(self.n_branches)
+        }
+        return RoutingPlan(cluster=self.tsrf.cluster, paths=paths)
+
+
+def _gadget_links(tsrf: Tsrf) -> tuple[list[Link], list[Link]]:
+    """(A, B) where A[i] = s'_i -> s_i and B[i] = s_i -> t."""
+    a = [(tsrf.second_level(i), tsrf.first_level(i)) for i in range(tsrf.n_branches)]
+    b = [(tsrf.first_level(i), HEAD) for i in range(tsrf.n_branches)]
+    return a, b
+
+
+def tsrfp_from_graph(adj: np.ndarray) -> TsrfpInstance:
+    """Construct the TSRFP instance for a Hamiltonian-path instance."""
+    adj = _validate_adjacency(adj)
+    n = adj.shape[0]
+    if n < 1:
+        raise ValueError("graph must have at least one vertex")
+    tsrf = build_tsrf(n)
+    a_links, b_links = _gadget_links(tsrf)
+    pairs = []
+    for i in range(n):
+        for j in range(n):
+            if i != j and adj[i, j]:
+                pairs.append((a_links[i], b_links[j]))
+    oracle = TabulatedOracle(
+        compatible_pairs=pairs,
+        valid_links=a_links + b_links,
+        max_group_size=2,
+    )
+    return TsrfpInstance(tsrf=tsrf, oracle=oracle, deadline=n + 1, adjacency=adj)
+
+
+def schedule_from_hamiltonian_path(
+    inst: TsrfpInstance, path: list[int]
+) -> PollingSchedule:
+    """Certificate conversion HP -> schedule (the Fig. 4(c) construction).
+
+    Slot k (0-based): branch ``path[k]``'s second-level sensor sends, while
+    branch ``path[k-1]``'s relay forwards to the head; slot n delivers the
+    last packet.  Request ids follow :class:`RequestPool` numbering (one
+    request per second-level sensor, in sensor order).
+    """
+    n = inst.n_branches
+    if sorted(path) != list(range(n)):
+        raise ValueError(f"path must be a permutation of branches, got {path}")
+    tsrf = inst.tsrf
+    pool = RequestPool(inst.routing_plan())
+    rid_of_branch = {
+        req.sensor - n: req.request_id for req in pool  # sensor k+i -> branch i
+    }
+    schedule = PollingSchedule()
+    for k, branch in enumerate(path):
+        rid = rid_of_branch[branch]
+        schedule.add(
+            k,
+            Transmission(
+                sender=tsrf.second_level(branch),
+                receiver=tsrf.first_level(branch),
+                request_id=rid,
+                hop_index=0,
+            ),
+        )
+        schedule.add(
+            k + 1,
+            Transmission(
+                sender=tsrf.first_level(branch),
+                receiver=HEAD,
+                request_id=rid,
+                hop_index=1,
+            ),
+        )
+        schedule.delivered[rid] = k + 1
+    return schedule
+
+
+def hamiltonian_path_from_schedule(
+    inst: TsrfpInstance, schedule: PollingSchedule
+) -> list[int]:
+    """Certificate conversion schedule (makespan <= n+1) -> HP.
+
+    The branch start order *is* the Hamiltonian path: consecutive starts
+    k, k+1 overlap as {s'_(v_{k+1}) -> s_(v_{k+1}), s_(v_k) -> t}, whose
+    compatibility encodes the edge (v_k, v_{k+1}).
+    """
+    n = inst.n_branches
+    if schedule.makespan() > inst.deadline:
+        raise ValueError(
+            f"schedule takes {schedule.makespan()} slots > deadline {inst.deadline}; "
+            "no Hamiltonian path can be extracted"
+        )
+    starts: list[tuple[int, int]] = []  # (slot, branch)
+    for t in range(schedule.n_slots):
+        for tx in schedule.group_at(t):
+            if tx.hop_index == 0:
+                starts.append((t, inst.tsrf.branch_of(tx.sender)))
+    starts.sort()
+    path = [branch for _, branch in starts]
+    if sorted(path) != list(range(n)):
+        raise ValueError("schedule does not start every branch exactly once")
+    return path
+
+
+def physical_oracle_for_graph(
+    adj: np.ndarray,
+    signal: float = 1.0,
+    weak: float = 1e-3,
+    strong: float = 1.0,
+    noise: float = 1e-6,
+    beta: float = 10.0,
+) -> PhysicalModelOracle:
+    """Realize the gadget's interference with arbitrary received powers.
+
+    Power assignment (S = signal, eps = weak, X = strong):
+
+    * wanted links: ``P_{s_i}(s'_i) = P_t(s_i) = S``  (decode alone);
+    * second-level cross powers: ``P_{s_i}(s'_j) = X`` for i != j, so two
+      second-level transmissions always jam each other;
+    * relay-at-receiver powers: ``P_{s_i}(s_j) = eps`` if (v_i, v_j) is an
+      edge else ``X`` — the edge set decides A_i/B_j compatibility;
+    * ``P_t(s'_i) = eps`` always (the head side never vetoes an edge pair).
+
+    With S/(noise + eps) >= beta > S/(noise + X), the resulting SINR oracle
+    answers *exactly* like the tabulated gadget oracle (asserted in tests).
+    """
+    adj = _validate_adjacency(adj)
+    n = adj.shape[0]
+    if not (signal / (noise + weak) >= beta > signal / (noise + strong)):
+        raise ValueError(
+            "parameters must satisfy S/(N+eps) >= beta > S/(N+X) "
+            f"(got S={signal}, eps={weak}, X={strong}, N={noise}, beta={beta})"
+        )
+    size = 2 * n + 1  # s_0..s_{n-1}, s'_0..s'_{n-1}, head
+    power = np.zeros((size, size))
+    head = 2 * n
+    for i in range(n):
+        s_i, sp_i = i, n + i
+        power[s_i, sp_i] = signal  # wanted: s'_i at s_i
+        power[head, s_i] = signal  # wanted: s_i at t
+        power[head, sp_i] = weak  # s'_i barely reaches the head
+        for j in range(n):
+            if j == i:
+                continue
+            sp_j, s_j = n + j, j
+            power[s_i, sp_j] = strong  # other second-levels jam s_i
+            power[s_i, s_j] = weak if adj[i, j] else strong
+    return PhysicalModelOracle(power, beta=beta, noise=noise, max_group_size=2)

@@ -1,0 +1,211 @@
+"""The X1MHP gadget (paper Thm. 3): one packet per sensor.
+
+TSRFP instances give first-level sensors zero packets; the Exact-One-Packet
+MHP reduction pads each branch with an *auxiliary branch* of four sensors
+(u, u', u'', u''') so every sensor owns exactly one packet, while an
+exchange argument is supposed to show any optimal schedule can be
+rearranged into a canonical two-part form: first a fixed 7-slot block per
+branch delivering the auxiliary packets and the first-level sensor's own
+packet, then a pure TSRFP schedule for the second-level packets.
+
+**Reproduction finding (negative).**  Under link-level compatibility
+semantics — compatibility is a property of the (sender, receiver) pairs,
+which is how both the protocol and physical models behave — the published
+exchange argument has a leak: the pairing ``(u''_i -> u'_i, s_i -> t)`` can
+be exploited *twice* per branch, because the link ``s_i -> t`` carries two
+packet instances (s_i's own packet and the relayed s'_i packet), and
+likewise first-level *own* arrivals can host graph-edge pairings that the
+proof implicitly reserves for relay arrivals.  Our exact solver exhibits
+schedules meeting the deadline ``8k + 1`` on graphs with **no** Hamiltonian
+path (see ``tests/hardness/test_x1mhp.py``), so the construction as
+published does not decide HP at that threshold.  The *forward* direction is
+intact and implemented (:func:`canonical_x1mhp_schedule` builds and
+validates an ``8k + 1`` schedule from any Hamiltonian path), and X1MHP's
+NP-hardness itself is not in doubt — only this particular gadget's
+bookkeeping.  We keep the construction faithful and pin the observed
+behavior in tests rather than silently "fixing" the theorem.
+
+Node numbering for k branches: ``s_i = i``, ``s'_i = k+i`` (the TSRF part),
+auxiliary ``u_i = 2k+4i``, ``u'_i = 2k+4i+1``, ``u''_i = 2k+4i+2``,
+``u'''_i = 2k+4i+3``.  Total 6k sensors / 6k packets.
+
+Relaying paths: ``u''' -> u'' -> u' -> t``; ``u'' -> u' -> t``; ``u'`` and
+``u`` send directly to t; plus the TSRF paths.  The only compatibilities:
+the original TSRFP pairs, and ``(u''_i -> u'_i)`` with ``(s_i -> t)`` —
+exactly one pairing opportunity per block, which is what pins the canonical
+form.
+
+A schedule finishing by ``deadline = 8k + 1`` exists iff the underlying
+graph has a Hamiltonian path (verified against the exact solver in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.requests import RequestPool
+from ..core.schedule import PollingSchedule
+from ..core.transmissions import Transmission
+from ..interference.base import Link, TabulatedOracle
+from ..routing.paths import RelayingPath, RoutingPlan
+from ..topology.cluster import HEAD, Cluster
+from .hamiltonian import _validate_adjacency
+
+__all__ = ["X1mhpInstance", "x1mhp_from_graph", "x1mhp_deadline", "canonical_x1mhp_schedule"]
+
+
+def x1mhp_deadline(n_branches: int) -> int:
+    """Slots of the canonical optimal schedule: 7 per block + (k+1) TSRFP."""
+    return 8 * n_branches + 1
+
+
+@dataclass
+class X1mhpInstance:
+    cluster: Cluster
+    oracle: TabulatedOracle
+    n_branches: int
+    adjacency: np.ndarray
+    deadline: int
+
+    # -- node helpers ------------------------------------------------------------
+
+    def s(self, i: int) -> int:
+        return i
+
+    def sp(self, i: int) -> int:
+        return self.n_branches + i
+
+    def u(self, i: int) -> int:
+        return 2 * self.n_branches + 4 * i
+
+    def up(self, i: int) -> int:
+        return 2 * self.n_branches + 4 * i + 1
+
+    def upp(self, i: int) -> int:
+        return 2 * self.n_branches + 4 * i + 2
+
+    def uppp(self, i: int) -> int:
+        return 2 * self.n_branches + 4 * i + 3
+
+    def routing_plan(self) -> RoutingPlan:
+        paths: dict[int, RelayingPath] = {}
+        for i in range(self.n_branches):
+            paths[self.s(i)] = (self.s(i), HEAD)
+            paths[self.sp(i)] = (self.sp(i), self.s(i), HEAD)
+            paths[self.u(i)] = (self.u(i), HEAD)
+            paths[self.up(i)] = (self.up(i), HEAD)
+            paths[self.upp(i)] = (self.upp(i), self.up(i), HEAD)
+            paths[self.uppp(i)] = (self.uppp(i), self.upp(i), self.up(i), HEAD)
+        return RoutingPlan(cluster=self.cluster, paths=paths)
+
+
+def x1mhp_from_graph(adj: np.ndarray) -> X1mhpInstance:
+    """Build the Thm. 3 instance from a Hamiltonian-path graph."""
+    adj = _validate_adjacency(adj)
+    k = adj.shape[0]
+    if k < 1:
+        raise ValueError("graph must have at least one vertex")
+    n = 6 * k
+    hears = np.zeros((n, n), dtype=bool)
+    head_hears = np.zeros(n, dtype=bool)
+
+    def link(a: int, b: int) -> None:
+        hears[a, b] = hears[b, a] = True
+
+    inst = X1mhpInstance(
+        cluster=None,  # type: ignore[arg-type]  # filled below
+        oracle=None,  # type: ignore[arg-type]
+        n_branches=k,
+        adjacency=adj,
+        deadline=x1mhp_deadline(k),
+    )
+    for i in range(k):
+        link(inst.s(i), inst.sp(i))
+        link(inst.up(i), inst.upp(i))
+        link(inst.upp(i), inst.uppp(i))
+        head_hears[inst.s(i)] = True
+        head_hears[inst.u(i)] = True
+        head_hears[inst.up(i)] = True
+    cluster = Cluster(
+        hears=hears,
+        head_hears=head_hears,
+        packets=np.ones(n, dtype=np.int64),
+    )
+    # Compatible pairs: the TSRFP pattern plus one pairing link per block.
+    pairs: list[tuple[Link, Link]] = []
+    for i in range(k):
+        for j in range(k):
+            if i != j and adj[i, j]:
+                pairs.append(
+                    ((inst.sp(i), inst.s(i)), (inst.s(j), HEAD))
+                )
+        pairs.append(((inst.upp(i), inst.up(i)), (inst.s(i), HEAD)))
+    valid: list[Link] = []
+    for i in range(k):
+        valid.extend(
+            [
+                (inst.s(i), HEAD),
+                (inst.sp(i), inst.s(i)),
+                (inst.u(i), HEAD),
+                (inst.up(i), HEAD),
+                (inst.upp(i), inst.up(i)),
+                (inst.uppp(i), inst.upp(i)),
+            ]
+        )
+    oracle = TabulatedOracle(
+        compatible_pairs=pairs, valid_links=valid, max_group_size=2
+    )
+    inst.cluster = cluster
+    inst.oracle = oracle
+    return inst
+
+
+def canonical_x1mhp_schedule(
+    inst: X1mhpInstance, ham_path: list[int]
+) -> PollingSchedule:
+    """The two-part canonical schedule for a Hamiltonian path certificate.
+
+    Blocks run in branch order 0..k-1 (block contents are branch-local, so
+    order is free); the TSRFP part follows in Hamiltonian-path order.
+    """
+    k = inst.n_branches
+    if sorted(ham_path) != list(range(k)):
+        raise ValueError(f"ham_path must be a permutation of branches, got {ham_path}")
+    pool = RequestPool(inst.routing_plan())
+    rid: dict[int, int] = {req.sensor: req.request_id for req in pool}
+    sched = PollingSchedule()
+
+    def put(t: int, sender: int, receiver: int, owner: int, hop: int) -> None:
+        sched.add(
+            t,
+            Transmission(
+                sender=sender, receiver=receiver, request_id=rid[owner], hop_index=hop
+            ),
+        )
+
+    for b in range(k):
+        o = 7 * b
+        s, sp = inst.s(b), inst.sp(b)
+        u, up, upp, uppp = inst.u(b), inst.up(b), inst.upp(b), inst.uppp(b)
+        put(o + 0, uppp, upp, uppp, 0)
+        put(o + 1, upp, up, uppp, 1)
+        put(o + 1, s, HEAD, s, 0)
+        sched.delivered[rid[s]] = o + 1
+        put(o + 2, up, HEAD, uppp, 2)
+        sched.delivered[rid[uppp]] = o + 2
+        put(o + 3, upp, up, upp, 0)
+        put(o + 4, up, HEAD, upp, 1)
+        sched.delivered[rid[upp]] = o + 4
+        put(o + 5, up, HEAD, up, 0)
+        sched.delivered[rid[up]] = o + 5
+        put(o + 6, u, HEAD, u, 0)
+        sched.delivered[rid[u]] = o + 6
+    base = 7 * k
+    for pos, branch in enumerate(ham_path):
+        sp, s = inst.sp(branch), inst.s(branch)
+        put(base + pos, sp, s, sp, 0)
+        put(base + pos + 1, s, HEAD, sp, 1)
+        sched.delivered[rid[sp]] = base + pos + 1
+    return sched

@@ -1,0 +1,550 @@
+"""The cluster-head polling MAC on the discrete-event PHY (paper Sec. II).
+
+One duty cycle, exactly as the paper describes it:
+
+1. Sensors wake at the time the head announced last cycle; the head
+   broadcasts a **wakeup/inquiry** message.
+2. **Ack collection**: the head polls the start sensors of a set-cover of
+   relaying paths (Sec. V-F); relays merge their own ack (+ packet count)
+   into the forwarded ack packet.
+3. **Slotted data polling**: each slot begins with the head broadcasting a
+   poll message naming the slot's transmissions (the slot "clock" of the
+   pipelined system); polled sensors transmit, named receivers listen, and
+   everyone else idles for the slot.  The head knows which slot each packet
+   should arrive in, detects losses there, and simply re-polls — the
+   on-line Table-1 algorithm driven by *real* PHY deliveries.
+4. The head broadcasts a **sleep** message carrying the next wake time and
+   the cluster sleeps out the rest of the cycle.
+
+No link-level acknowledgments, no sensor-originated control traffic, no
+carrier sense: all coordination is the head's polls, which is the entire
+point of the design.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.ack import plan_ack_collection
+from ..core.online import OnlinePollingScheduler
+from ..core.transmissions import Transmission
+from ..interference.physical import PhysicalModelOracle
+from ..radio.packet import BROADCAST_ADDR, DEFAULT_SIZES, Frame, FrameSizes, FrameType
+from ..routing.minmax import FlowSolution, solve_min_max_load
+from ..routing.paths import RoutingPlan
+from ..routing.rotation import PathRotator
+from ..sim.kernel import Simulator
+from ..sim.process import Process, Timeout
+from ..sim.units import transmission_time
+from ..topology.cluster import HEAD, Cluster
+from .base import ClusterPhy, MacTimings
+
+__all__ = [
+    "AppPacket",
+    "PollInstruction",
+    "PollingSensorAgent",
+    "PollingClusterMac",
+    "CycleStats",
+    "phy_truth_oracle",
+]
+
+_packet_seq = itertools.count()
+
+
+@dataclass(frozen=True)
+class AppPacket:
+    """An application data unit generated at a sensor."""
+
+    origin: int
+    seq: int
+    created: float
+
+
+@dataclass(frozen=True)
+class PollInstruction:
+    """One entry of a poll message: who sends what to whom this slot."""
+
+    sender: int  # scheduler node ids (HEAD = -1)
+    receiver: int
+    request_id: int
+    hop_index: int
+
+
+def phy_truth_oracle(phy: ClusterPhy, max_group_size: int = 2) -> PhysicalModelOracle:
+    """The oracle matching the medium's actual decode rule exactly.
+
+    ``min(signal) >= sensitivity`` is folded in by raising the effective
+    noise floor to ``sensitivity / beta`` (conservative under interference,
+    never optimistic), so a link the oracle approves always decodes on a
+    quiet channel — the property the Table-1 algorithm needs.
+    """
+    medium = phy.medium
+    effective_noise = max(medium.noise, medium.rx_sensitivity / medium.beta)
+    power = medium.rx_power
+    if phy.index_map is not None:
+        # Shared-medium operation: restrict to this cluster's nodes (local
+        # layout: sensors then head).  Other clusters' interference is
+        # invisible to the head — exactly the Sec. V-G problem the
+        # coordination mechanisms exist to solve.
+        idx = np.asarray(phy.index_map)
+        power = power[np.ix_(idx, idx)]
+    return PhysicalModelOracle(
+        power=power,
+        beta=medium.beta,
+        noise=effective_noise,
+        max_group_size=max_group_size,
+    )
+
+
+class PollingSensorAgent:
+    """A basic sensor: dumb, poll-driven, asleep whenever allowed."""
+
+    def __init__(
+        self,
+        phy: ClusterPhy,
+        sensor: int,
+        sizes: FrameSizes,
+        timings: MacTimings,
+        cluster_id: int = 0,
+    ):
+        self.phy = phy
+        self.sensor = sensor
+        self.sizes = sizes
+        self.timings = timings
+        self.cluster_id = cluster_id
+        self.trx = phy.trx(sensor)
+        self.own_queue: deque[AppPacket] = deque()
+        self.assigned: dict[int, AppPacket] = {}
+        self.relay_buffer: dict[int, AppPacket] = {}
+        self.ack_buffer: dict[int, dict[int, int]] = {}
+        self.cycle_quota = 0  # own packets admitted to the current cycle
+        self.packets_sent = 0
+        self.trx.on_receive(self._on_frame)
+
+    # -- application side ---------------------------------------------------------
+
+    def generate_packet(self) -> None:
+        self.own_queue.append(
+            AppPacket(origin=self.sensor, seq=next(_packet_seq), created=self.phy.sim.now)
+        )
+
+    @property
+    def pending_count(self) -> int:
+        return len(self.own_queue)
+
+    # -- frame handling -----------------------------------------------------------
+
+    def _on_frame(self, frame: Frame, rx_power: float) -> None:
+        payload = frame.payload
+        if isinstance(payload, dict) and payload.get("cluster", self.cluster_id) != self.cluster_id:
+            return  # another cluster's traffic overheard on a shared channel
+        if frame.ftype is FrameType.POLL:
+            self._on_poll(frame.payload)
+        elif frame.ftype is FrameType.DATA:
+            self._on_data(frame.payload)
+        elif frame.ftype is FrameType.ACK_REPORT:
+            self._on_ack(frame.payload)
+        elif frame.ftype is FrameType.SLEEP:
+            self._on_sleep(frame.payload)
+        elif frame.ftype is FrameType.WAKEUP:
+            self._on_wakeup()
+
+    def _on_wakeup(self) -> None:
+        """Freeze this cycle's packet quota: packets generated after the
+        wakeup inquiry wait for the next cycle, so the count acked to the
+        head exactly matches what the sensor will answer polls with."""
+        self.assigned.clear()
+        self.relay_buffer.clear()
+        self.ack_buffer.clear()
+        self.cycle_quota = len(self.own_queue)
+
+    def _on_poll(self, payload) -> None:
+        phase: str = payload["phase"]
+        instructions: list[PollInstruction] = payload["instructions"]
+        my_sends = [ins for ins in instructions if ins.sender == self.sensor]
+        if not my_sends:
+            return
+        ins = my_sends[0]  # node-disjoint slots: at most one role per sensor
+        delay = self.timings.turnaround
+        if phase == "data":
+            packet = self._packet_for(ins)
+            if packet is None:
+                return  # upstream loss: nothing to relay; stay silent
+            frame = Frame(
+                ftype=FrameType.DATA,
+                src=self.phy.phy_index(self.sensor),
+                dst=ins.receiver,
+                size_bytes=self.sizes.data,
+                payload={"instruction": ins, "packet": packet, "cluster": self.cluster_id},
+            )
+        else:  # ack phase
+            report = dict(self.ack_buffer.get(ins.request_id, {}))
+            if ins.hop_index == 0:
+                report = {}
+            report[self.sensor] = self.cycle_quota
+            frame = Frame(
+                ftype=FrameType.ACK_REPORT,
+                src=self.phy.phy_index(self.sensor),
+                dst=ins.receiver,
+                size_bytes=self.sizes.ack_report,
+                payload={"instruction": ins, "counts": report, "cluster": self.cluster_id},
+            )
+        self.phy.sim.schedule(delay, self._transmit_if_possible, frame)
+
+    def _packet_for(self, ins: PollInstruction):
+        if ins.hop_index == 0:
+            pkt = self.assigned.get(ins.request_id)
+            if pkt is None:
+                if not self.own_queue or self.cycle_quota <= 0:
+                    return None  # head believes we have more than we do
+                pkt = self.own_queue.popleft()
+                self.cycle_quota -= 1
+                self.assigned[ins.request_id] = pkt
+            return pkt
+        return self.relay_buffer.get(ins.request_id)
+
+    def _transmit_if_possible(self, frame: Frame) -> None:
+        if not self.trx.is_sleeping and not self.trx.is_transmitting:
+            self.trx.transmit(frame)
+            if frame.ftype is FrameType.DATA:
+                self.packets_sent += 1
+
+    def _on_data(self, payload) -> None:
+        ins: PollInstruction = payload["instruction"]
+        if ins.receiver == self.sensor:
+            self.relay_buffer[ins.request_id] = payload["packet"]
+
+    def _on_ack(self, payload) -> None:
+        ins: PollInstruction = payload["instruction"]
+        if ins.receiver == self.sensor:
+            self.ack_buffer[ins.request_id] = dict(payload["counts"])
+
+    def _on_sleep(self, payload) -> None:
+        """Sleep until the announced wake time.
+
+        ``members`` (optional) restricts the order to a subset — sector
+        operation puts one sector to bed while later sectors (already awake
+        for their windows) keep listening.  ``wake_map`` instead carries a
+        personal wake time per sensor (the sector window announcement);
+        sensors without an entry stay awake.
+        """
+        wake_map = payload.get("wake_map")
+        if wake_map is not None:
+            t = wake_map.get(self.sensor)
+            if t is not None and t > self.phy.sim.now and not self.trx.is_sleeping:
+                self.trx.sleep()
+                self.phy.sim.at(t, self.trx.wake)
+            return
+        members = payload.get("members")
+        if members is not None and self.sensor not in members:
+            return
+        wake_at: float = payload["wake_at"]
+        if payload.get("end_of_cycle", True):
+            self.assigned.clear()
+            self.relay_buffer.clear()
+            self.ack_buffer.clear()
+        if wake_at <= self.phy.sim.now:
+            return  # the announced wake time already passed (overrun cycle)
+        if not self.trx.is_sleeping:
+            self.trx.sleep()
+            self.phy.sim.at(wake_at, self.trx.wake)
+
+
+@dataclass
+class CycleStats:
+    """What one duty cycle accomplished."""
+
+    cycle_index: int
+    started_at: float
+    duty_time: float
+    ack_slots: int
+    data_slots: int
+    packets_delivered: int
+    packets_offered: int
+    retransmissions: int
+
+
+class PollingClusterMac:
+    """The cluster head side: orchestrates duty cycles over the PHY."""
+
+    def __init__(
+        self,
+        phy: ClusterPhy,
+        cycle_length: float = 10.0,
+        max_group_size: int = 2,
+        sizes: FrameSizes = DEFAULT_SIZES,
+        timings: MacTimings = MacTimings(),
+        routing: FlowSolution | None = None,
+        max_slots_per_phase: int = 200_000,
+        retry_limit: int | None = 12,
+        use_sectors: bool = False,
+        slack_factor: float = 1.5,
+        cluster_id: int = 0,
+    ):
+        self.phy = phy
+        self.sim = phy.sim
+        self.cycle_length = cycle_length
+        self.sizes = sizes
+        self.timings = timings
+        self.max_slots_per_phase = max_slots_per_phase
+        self.retry_limit = retry_limit
+        self.use_sectors = use_sectors
+        self.slack_factor = slack_factor
+        self.cluster_id = cluster_id
+        self.packets_failed = 0
+        self.oracle = phy_truth_oracle(phy, max_group_size)
+        self.sensors = [
+            PollingSensorAgent(phy, i, sizes, timings, cluster_id=cluster_id)
+            for i in range(phy.n_sensors)
+        ]
+        self.head_trx = phy.trx(HEAD)
+        self.head_trx.on_receive(self._head_on_frame)
+        # Routing is computed once from average traffic (Sec. III-A: "run the
+        # network flow algorithm once every long time period").
+        self.routing = routing or solve_min_max_load(self._planning_cluster())
+        self.rotator = PathRotator(self.routing)
+        self.ack_plan = plan_ack_collection(phy.cluster, self.routing.routing_plan())
+        # Sector operation (Sec. IV): fixed relay trees per sector, polled in
+        # turn; sensors sleep outside the ack phase and their own window.
+        self.partition = None
+        if use_sectors:
+            from ..core.sectors import partition_into_sectors
+
+            self.partition = partition_into_sectors(self.routing, oracle=self.oracle)
+        # Per-slot reception buffers the head process reads.
+        self._arrived_requests: set[int] = set()
+        self._ack_counts: dict[int, int] = {}
+        self._delivered_packets: list[AppPacket] = []
+        self.cycle_stats: list[CycleStats] = []
+        self.process: Process | None = None
+
+    def _planning_cluster(self) -> Cluster:
+        """Routing uses >=1 packet per reachable sensor so each gets a path.
+
+        Sensors with no multi-hop path to the head (strays at cluster
+        borders) are planned at zero packets — they cannot be served.
+        """
+        cluster = self.phy.cluster
+        packets = np.maximum(cluster.packets, 1)
+        hops = cluster.min_hop_counts()
+        packets = np.where(np.isfinite(hops), packets, 0)
+        return cluster.with_packets(packets.astype(np.int64))
+
+    # -- public API -----------------------------------------------------------------
+
+    def start(self, n_cycles: int) -> Process:
+        self.process = Process(self.sim, self._run(n_cycles), name="polling-head")
+        return self.process
+
+    @property
+    def packets_delivered(self) -> int:
+        return len(self._delivered_packets)
+
+    def delivered_packets(self) -> list[AppPacket]:
+        return list(self._delivered_packets)
+
+    # -- head frame reception ----------------------------------------------------------
+
+    def _head_on_frame(self, frame: Frame, rx_power: float) -> None:
+        payload = frame.payload
+        if isinstance(payload, dict) and payload.get("cluster", self.cluster_id) != self.cluster_id:
+            return
+        if frame.ftype is FrameType.DATA:
+            ins: PollInstruction = frame.payload["instruction"]
+            if ins.receiver == HEAD:
+                self._arrived_requests.add(ins.request_id)
+                self._delivered_packets.append(frame.payload["packet"])
+        elif frame.ftype is FrameType.ACK_REPORT:
+            ins = frame.payload["instruction"]
+            if ins.receiver == HEAD:
+                self._arrived_requests.add(ins.request_id)
+                self._ack_counts.update(frame.payload["counts"])
+
+    # -- the duty-cycle engine -----------------------------------------------------------
+
+    def _broadcast(self, ftype: FrameType, size: int, payload) -> float:
+        if isinstance(payload, dict):
+            payload = {**payload, "cluster": self.cluster_id}
+        frame = Frame(
+            ftype=ftype,
+            src=self.phy.phy_index(HEAD),
+            dst=BROADCAST_ADDR,
+            size_bytes=size,
+            payload=payload,
+        )
+        return self.head_trx.transmit(frame)
+
+    def _slot_time(self, payload_bytes: int) -> float:
+        return self.timings.poll_slot_time(
+            self.phy.medium.bitrate, self.sizes, payload_bytes
+        )
+
+    def _run_phase(self, phase: str, plan: RoutingPlan, payload_bytes: int):
+        """Generator: drive one polling phase slot by slot over the radio.
+
+        Returns ``(slots_used, retransmissions, failed_request_count)``.
+        """
+        scheduler = OnlinePollingScheduler(plan, self.oracle, retry_limit=self.retry_limit)
+        slot_time = self._slot_time(payload_bytes)
+        self._arrived_requests = set()
+        t = 0
+        while not scheduler.all_done:
+            if t >= self.max_slots_per_phase:
+                raise RuntimeError(f"{phase} phase exceeded {self.max_slots_per_phase} slots")
+            arrived, self._arrived_requests = self._arrived_requests, set()
+            group = scheduler.external_step(t, arrived)
+            if not group and scheduler.all_done:
+                break  # last arrivals just resolved; no slot needed
+            instructions = [
+                PollInstruction(
+                    sender=tx.sender,
+                    receiver=tx.receiver,
+                    request_id=tx.request_id,
+                    hop_index=tx.hop_index,
+                )
+                for tx in group
+            ]
+            self._broadcast(
+                FrameType.POLL,
+                self.sizes.poll,
+                {"phase": phase, "slot": t, "instructions": instructions},
+            )
+            yield Timeout(slot_time)
+            t += 1
+        retx = scheduler.pool.total_attempts() - len(scheduler.pool.requests)
+        return t, retx, len(scheduler.failed)
+
+    def _run_sectored(self, counts, cycle_start: float):
+        """The Sec. IV data phase: sectors polled in turn, others asleep.
+
+        The head knows each sector's nominal polling length (it can compute
+        the loss-free schedule), pads it with slack for re-polls, announces
+        every sensor's personal wake time in one broadcast, and then serves
+        the sectors in their windows — putting each to bed the moment its
+        packets are in.
+        """
+        sim = self.sim
+        cluster = self.phy.cluster.with_packets(counts)
+        data_slot = self._slot_time(self.sizes.data)
+        next_wake_est = cycle_start + self.cycle_length
+        # Per-sector plans and window budgets.
+        jobs: list[tuple[object, RoutingPlan | None, int]] = []
+        for sec in self.partition.sectors:
+            plan = sec.routing_plan(cluster)
+            if not plan.paths:
+                jobs.append((sec, None, 0))
+                continue
+            nominal = OnlinePollingScheduler(plan, self.oracle).run().slots_elapsed
+            budget = int(np.ceil(nominal * self.slack_factor)) + 4
+            jobs.append((sec, plan, budget))
+        # Announce personal wake times (sector 0 starts right away).
+        dur = transmission_time(self.sizes.sleep, self.phy.medium.bitrate)
+        base = sim.now + dur + self.timings.turnaround
+        wake_map: dict[int, float] = {}
+        offset = 0.0
+        window_starts: list[float] = []
+        for k, (sec, plan, budget) in enumerate(jobs):
+            window_starts.append(base + offset)
+            if k > 0:
+                for s in sec.sensors:
+                    wake_map[s] = base + offset
+            offset += budget * data_slot
+        self._broadcast(FrameType.SLEEP, self.sizes.sleep, {"wake_map": wake_map})
+        yield Timeout(dur + self.timings.turnaround)
+        # Serve each sector in its window.
+        total_slots = 0
+        total_retx = 0
+        for k, (sec, plan, budget) in enumerate(jobs):
+            if plan is None:
+                continue
+            if sim.now < window_starts[k]:
+                yield Timeout(window_starts[k] - sim.now)
+            slots, retx, failed = yield from self._run_phase(
+                "data", plan, self.sizes.data
+            )
+            total_slots += slots
+            total_retx += retx
+            self.packets_failed += failed
+            # This sector is done: straight to sleep until the next cycle.
+            self._broadcast(
+                FrameType.SLEEP,
+                self.sizes.sleep,
+                {"wake_at": next_wake_est, "members": list(sec.sensors)},
+            )
+            yield Timeout(
+                transmission_time(self.sizes.sleep, self.phy.medium.bitrate)
+                + self.timings.turnaround
+            )
+        return total_slots, total_retx
+
+    def _run(self, n_cycles: int):
+        sim = self.sim
+        for cycle in range(n_cycles):
+            cycle_start = sim.now
+            offered = sum(s.pending_count for s in self.sensors)
+            delivered_before = self.packets_delivered
+            # 1. wakeup broadcast (sensors are awake: they woke on schedule).
+            dur = self._broadcast(FrameType.WAKEUP, self.sizes.wakeup, {"cycle": cycle})
+            yield Timeout(dur + self.timings.turnaround)
+            # 2. ack collection along covering paths.
+            self._ack_counts = {}
+            ack_paths = {p[0]: p for p in self.ack_plan.paths}
+            ack_packets = np.zeros(self.phy.n_sensors, dtype=np.int64)
+            for start in ack_paths:
+                ack_packets[start] = 1
+            ack_plan = RoutingPlan(
+                cluster=self.phy.cluster.with_packets(ack_packets), paths=ack_paths
+            )
+            ack_slots, _, _ = yield from self._run_phase(
+                "ack", ack_plan, self.sizes.ack_report
+            )
+            # 3. data polling from the reported counts.
+            counts = np.zeros(self.phy.n_sensors, dtype=np.int64)
+            for sensor, cnt in self._ack_counts.items():
+                counts[sensor] = cnt
+            data_slots = 0
+            retransmissions = 0
+            if self.partition is not None:
+                data_slots, retransmissions = yield from self._run_sectored(
+                    counts, cycle_start
+                )
+            else:
+                base_plan = self.rotator.next_cycle()
+                data_paths = {
+                    s: base_plan.paths[s]
+                    for s in range(self.phy.n_sensors)
+                    if counts[s] > 0 and s in base_plan.paths
+                }
+                if data_paths:
+                    data_plan = RoutingPlan(
+                        cluster=self.phy.cluster.with_packets(counts), paths=data_paths
+                    )
+                    data_slots, retransmissions, failed = yield from self._run_phase(
+                        "data", data_plan, self.sizes.data
+                    )
+                    self.packets_failed += failed
+            # 4. sleep broadcast.
+            next_wake = max(cycle_start + self.cycle_length, sim.now + 2 * self.timings.guard)
+            dur = self._broadcast(FrameType.SLEEP, self.sizes.sleep, {"wake_at": next_wake})
+            yield Timeout(dur)
+            self.cycle_stats.append(
+                CycleStats(
+                    cycle_index=cycle,
+                    started_at=cycle_start,
+                    duty_time=sim.now - cycle_start,
+                    ack_slots=ack_slots,
+                    data_slots=data_slots,
+                    packets_delivered=self.packets_delivered - delivered_before,
+                    packets_offered=offered,
+                    retransmissions=retransmissions,
+                )
+            )
+            # Wait out the rest of the cycle (the head may idle or serve the
+            # second-layer network; sensors are asleep).
+            if next_wake > sim.now:
+                yield Timeout(next_wake - sim.now)
+        return len(self.cycle_stats)

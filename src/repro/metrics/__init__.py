@@ -1,0 +1,27 @@
+"""Measurement layer: active time, throughput, lifetime, energy."""
+
+from .activetime import ActiveTimeConfig, ActiveTimeResult, CycleRecord, simulate_active_time
+from .energy import EnergyReport, energy_report
+from .lifetime import (
+    EnergyRateModel,
+    LifetimeResult,
+    evaluate_lifetime_ratio,
+    evaluate_lifetime_ratio_for_cluster,
+)
+from .throughput import ThroughputWindow, delivery_ratio, throughput_bps
+
+__all__ = [
+    "ActiveTimeConfig",
+    "ActiveTimeResult",
+    "CycleRecord",
+    "simulate_active_time",
+    "EnergyRateModel",
+    "LifetimeResult",
+    "evaluate_lifetime_ratio",
+    "evaluate_lifetime_ratio_for_cluster",
+    "ThroughputWindow",
+    "throughput_bps",
+    "delivery_ratio",
+    "EnergyReport",
+    "energy_report",
+]

@@ -1,0 +1,56 @@
+"""Throughput accounting helpers (the Fig. 7b metric).
+
+"Throughput ... is defined as the average number of packets received by the
+cluster head in a given time period."  We express it in bytes/second
+(matching the paper's Bps axes) and provide warmup-windowed counting so the
+reported figure reflects steady state, like the paper's 100 s warmup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ThroughputWindow", "throughput_bps", "delivery_ratio"]
+
+
+def throughput_bps(packets_delivered: int, packet_bytes: int, elapsed_s: float) -> float:
+    """Delivered bytes per second over a window."""
+    if elapsed_s <= 0:
+        raise ValueError(f"elapsed time must be positive, got {elapsed_s}")
+    if packets_delivered < 0 or packet_bytes <= 0:
+        raise ValueError("packet counts must be non-negative and sizes positive")
+    return packets_delivered * packet_bytes / elapsed_s
+
+
+def delivery_ratio(delivered: int, offered: int) -> float:
+    """Fraction of offered packets that reached the head (1.0 when idle)."""
+    if delivered < 0 or offered < 0:
+        raise ValueError("counts must be non-negative")
+    if offered == 0:
+        return 1.0
+    return delivered / offered
+
+
+@dataclass
+class ThroughputWindow:
+    """Counts deliveries inside a measurement window (post-warmup)."""
+
+    start: float
+    end: float
+    packet_bytes: int = 80
+    delivered: int = 0
+
+    def record(self, created_at: float, delivered_at: float) -> bool:
+        """Count a delivery if its packet was created inside the window."""
+        if self.start <= created_at <= self.end:
+            self.delivered += 1
+            return True
+        return False
+
+    @property
+    def span(self) -> float:
+        return self.end - self.start
+
+    @property
+    def bps(self) -> float:
+        return throughput_bps(self.delivered, self.packet_bytes, self.span)

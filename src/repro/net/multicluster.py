@@ -1,0 +1,111 @@
+"""Inter-cluster interference removal (paper Sec. V-G).
+
+Two mechanisms, both implemented:
+
+* **Token rotation** — only the cluster head holding the token may run its
+  duty cycle; simple, correct, and fine when clusters are few and duty
+  cycles short relative to the cycle.  :class:`TokenSchedule` produces the
+  per-cluster transmission windows and utilization figures.
+* **Channel coloring** — nearby clusters get different radio channels via
+  the <= 6-color planar coloring (:mod:`repro.net.coloring`); all clusters
+  then poll concurrently.  :func:`assign_channels` returns the channel map
+  and :func:`concurrency_gain` quantifies the speedup over token rotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..topology.forming import FormedNetwork, cluster_adjacency
+from .coloring import is_proper_coloring, six_color_planar
+
+__all__ = ["TokenSchedule", "assign_channels", "concurrency_gain"]
+
+
+@dataclass
+class TokenSchedule:
+    """Round-robin token among cluster heads.
+
+    ``windows[k]`` = (start, end) of cluster *k*'s transmission window in
+    each rotation period; the period equals the sum of per-cluster duty
+    durations (plus a fixed token handoff cost per hop).
+    """
+
+    duty_durations: list[float]
+    handoff_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if any(d < 0 for d in self.duty_durations):
+            raise ValueError("duty durations must be non-negative")
+        if self.handoff_cost < 0:
+            raise ValueError("handoff cost must be non-negative")
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.duty_durations)
+
+    @property
+    def period(self) -> float:
+        return sum(self.duty_durations) + self.handoff_cost * self.n_clusters
+
+    def windows(self) -> list[tuple[float, float]]:
+        out = []
+        t = 0.0
+        for d in self.duty_durations:
+            out.append((t, t + d))
+            t += d + self.handoff_cost
+        return out
+
+    def holder_at(self, time: float) -> int | None:
+        """Which cluster may transmit at *time* (None during handoffs)."""
+        t = time % self.period if self.period > 0 else 0.0
+        for k, (start, end) in enumerate(self.windows()):
+            if start <= t < end:
+                return k
+        return None
+
+    def utilization(self) -> float:
+        """Fraction of the period someone is transmitting."""
+        if self.period <= 0:
+            return 0.0
+        return sum(self.duty_durations) / self.period
+
+
+def assign_channels(net: FormedNetwork, interference_range: float) -> np.ndarray:
+    """Color the cluster-adjacency graph; returns a channel per cluster.
+
+    Raises if the coloring ends up improper (cannot happen; defensive) and
+    warns through the return value's max: planar layouts stay <= 6.
+    """
+    adj = cluster_adjacency(net, interference_range)
+    colors = six_color_planar(adj)
+    if not is_proper_coloring(adj, colors):  # pragma: no cover - invariant
+        raise RuntimeError("coloring is improper — internal error")
+    return colors
+
+
+def concurrency_gain(
+    net: FormedNetwork,
+    interference_range: float,
+    duty_durations: list[float],
+) -> float:
+    """Rotation period / colored-schedule period.
+
+    With channels assigned, *every* cluster can poll concurrently: adjacent
+    clusters sit on different channels, and same-channel clusters are
+    non-adjacent (out of interference range) by construction.  The colored
+    schedule therefore lasts only as long as the slowest cluster, versus
+    the token rotation's sum — the paper's argument for coloring over
+    token rotation.  (The call still computes and checks the coloring, so
+    an inconsistent adjacency surfaces here.)
+    """
+    if len(duty_durations) != net.n_clusters:
+        raise ValueError("need one duty duration per cluster")
+    token = TokenSchedule(duty_durations=list(duty_durations))
+    assign_channels(net, interference_range)  # validates colorability
+    colored_period = max(duty_durations, default=0.0)
+    if colored_period <= 0:
+        return 1.0
+    return token.period / colored_period

@@ -1,0 +1,261 @@
+"""Multi-cluster polling on one shared medium (Sec. V-G, executed).
+
+Several cluster heads and their Voronoi-formed clusters share one physical
+radio space.  Without coordination, boundary sensors of adjacent clusters
+collide whenever their heads poll simultaneously — and the heads' own
+high-power poll broadcasts jam each other across cluster borders.  The
+paper offers two remedies, both runnable here:
+
+* ``mode="uncoordinated"`` — everyone on one channel, cycles aligned: the
+  failure case (inter-cluster collisions eat packets);
+* ``mode="token"`` — one channel, but duty cycles staggered into windows
+  (the head-to-head token of Sec. V-G; the second-layer token passing
+  itself is out of band);
+* ``mode="channels"`` — adjacent clusters on different radio channels via
+  the <= 6-coloring; everyone polls concurrently.
+
+All three run the full per-cluster polling MAC; the shared
+:class:`~repro.radio.channel.RadioMedium` decides what actually decodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.online import OnlinePollingScheduler
+from ..mac.base import (
+    GROUND_SENSOR_PROPAGATION,
+    ClusterPhy,
+    MacTimings,
+    sensor_power_for_range,
+)
+from ..mac.pollmac import PollingClusterMac, phy_truth_oracle
+from ..radio.channel import RadioMedium
+from ..radio.energy import EnergyParams
+from ..radio.packet import DEFAULT_SIZES
+from ..radio.transceiver import Transceiver
+from ..sim.kernel import Simulator
+from ..sim.rng import RngStreams
+from ..sim.trace import Tracer
+from ..topology.cluster import Cluster
+from ..topology.forming import FormedNetwork, form_clusters
+from .cluster_sim import cluster_from_phy
+from .coloring import six_color_planar
+from ..topology.forming import cluster_adjacency
+from ..traffic.cbr import attach_cbr_sources
+
+__all__ = ["MultiClusterConfig", "MultiClusterResult", "run_multicluster_simulation"]
+
+
+@dataclass(frozen=True)
+class MultiClusterConfig:
+    n_sensors: int = 60
+    n_heads: int = 3
+    field_m: float = 360.0
+    sensor_range_m: float = 55.0
+    rate_bps: float = 20.0
+    cycle_length: float = 6.0
+    n_cycles: int = 5
+    seed: int = 0
+    mode: str = "channels"  # "channels" | "token" | "uncoordinated"
+    bitrate: float = 200_000.0
+    packet_bytes: int = 80
+    energy: EnergyParams = EnergyParams()
+
+
+@dataclass
+class MultiClusterResult:
+    config: MultiClusterConfig
+    net: FormedNetwork
+    macs: list[PollingClusterMac]
+    channels: np.ndarray
+    elapsed: float
+    packets_generated: int
+    collisions: int
+
+    @property
+    def packets_delivered(self) -> int:
+        return sum(mac.packets_delivered for mac in self.macs)
+
+    @property
+    def packets_failed(self) -> int:
+        return sum(mac.packets_failed for mac in self.macs)
+
+    @property
+    def delivery_ratio(self) -> float:
+        eligible = self.packets_delivered + self.packets_failed
+        if eligible == 0:
+            return 1.0
+        return self.packets_delivered / eligible
+
+    def per_cluster_delivery(self) -> list[tuple[int, int]]:
+        return [(mac.cluster_id, mac.packets_delivered) for mac in self.macs]
+
+
+def _head_layout(k: int, field: float, rng) -> np.ndarray:
+    """Spread heads over the field deterministically (jittered grid)."""
+    cols = int(np.ceil(np.sqrt(k)))
+    rows = int(np.ceil(k / cols))
+    xs = (np.arange(cols) + 0.5) * field / cols
+    ys = (np.arange(rows) + 0.5) * field / rows
+    pts = [(x, y) for y in ys for x in xs][:k]
+    jitter = rng.uniform(-0.05 * field, 0.05 * field, size=(k, 2))
+    return np.asarray(pts) + jitter
+
+
+def run_multicluster_simulation(
+    config: MultiClusterConfig = MultiClusterConfig(),
+) -> MultiClusterResult:
+    if config.mode not in ("channels", "token", "uncoordinated"):
+        raise ValueError(f"unknown mode {config.mode!r}")
+    sim = Simulator()
+    streams = RngStreams(config.seed)
+    field_rng = streams.get("field")
+    sensors = field_rng.uniform(0, config.field_m, size=(config.n_sensors, 2))
+    heads = _head_layout(config.n_heads, config.field_m, streams.get("heads"))
+    net = form_clusters(sensors, heads, comm_range=config.sensor_range_m)
+
+    # --- one shared medium over every sensor and every head -------------------
+    tracer = Tracer()
+    all_positions = np.vstack([sensors, heads])
+    n_total = all_positions.shape[0]
+    prop = GROUND_SENSOR_PROPAGATION
+    sensor_power = sensor_power_for_range(prop, config.sensor_range_m, 1e-11)
+    tx_power = np.full(n_total, sensor_power)
+    for h in range(config.n_heads):
+        members = net.members[h]
+        if members.size:
+            d = np.sqrt(((sensors[members] - heads[h]) ** 2).sum(axis=1)).max()
+        else:
+            d = config.sensor_range_m
+        tx_power[config.n_sensors + h] = 4.0 * sensor_power_for_range(
+            prop, max(float(d), config.sensor_range_m), 1e-11
+        )
+    medium = RadioMedium(
+        sim=sim,
+        positions=all_positions,
+        tx_power_w=tx_power,
+        propagation=prop,
+        bitrate_bps=config.bitrate,
+        tracer=tracer,
+    )
+
+    # --- channel assignment -----------------------------------------------------
+    if config.mode == "channels":
+        adj = cluster_adjacency(net, interference_range=2 * config.sensor_range_m)
+        channels = six_color_planar(adj)
+    else:
+        channels = np.zeros(config.n_heads, dtype=np.int64)
+
+    # --- per-cluster stacks on shared PHY -----------------------------------------
+    macs: list[PollingClusterMac] = []
+    all_agents = []
+    duty_estimates: list[float] = []
+    for h in range(config.n_heads):
+        members = [int(m) for m in net.members[h]]
+        index_map = members + [config.n_sensors + h]
+        transceivers = [
+            Transceiver(sim, medium, g, energy=config.energy) for g in index_map
+        ]
+        for g in index_map:
+            medium.set_channel(g, int(channels[h]))
+        phy = ClusterPhy(
+            sim=sim,
+            cluster=net.clusters[h],
+            medium=medium,
+            transceivers=transceivers,
+            tracer=tracer,
+            index_map=index_map,
+        )
+        # discover in-cluster connectivity from the shared radio
+        local_cluster = _discover_local_cluster(phy)
+        if not local_cluster.is_connected():
+            # strays beyond reach transmit nothing this run
+            hops = local_cluster.min_hop_counts()
+            packets = np.where(np.isfinite(hops), 1, 0).astype(np.int64)
+            local_cluster = local_cluster.with_packets(packets)
+        phy.cluster = local_cluster
+        mac = PollingClusterMac(
+            phy, cycle_length=config.cycle_length, cluster_id=h
+        )
+        macs.append(mac)
+        all_agents.append(mac.sensors)
+        # nominal duty estimate for token windows
+        plan = mac.routing.routing_plan()
+        nominal_slots = OnlinePollingScheduler(plan, mac.oracle).run().slots_elapsed
+        slot = MacTimings().poll_slot_time(
+            config.bitrate, DEFAULT_SIZES, DEFAULT_SIZES.data
+        )
+        duty_estimates.append(nominal_slots * slot * 2.0 + 0.2)
+
+    # --- traffic --------------------------------------------------------------------
+    sources = []
+    for h, agents in enumerate(all_agents):
+        sources.extend(
+            attach_cbr_sources(
+                sim,
+                agents,
+                rate_bps=config.rate_bps,
+                packet_bytes=config.packet_bytes,
+                seed=config.seed * 101 + h,
+            )
+        )
+
+    # --- start: aligned, staggered, or concurrent -------------------------------------
+    if config.mode == "token":
+        offset = 0.0
+        for mac, est in zip(macs, duty_estimates):
+            _start_delayed(sim, mac, config.n_cycles, offset)
+            offset += est
+    else:
+        for mac in macs:
+            mac.start(config.n_cycles)
+
+    sim.run(until=config.n_cycles * config.cycle_length)
+    for mac in macs:
+        mac.phy.finalize()
+    return MultiClusterResult(
+        config=config,
+        net=net,
+        macs=macs,
+        channels=channels,
+        elapsed=sim.now,
+        packets_generated=sum(s.generated for s in sources),
+        collisions=tracer.counts.get("phy_rx_collision", 0),
+    )
+
+
+def _discover_local_cluster(phy: ClusterPhy) -> Cluster:
+    """In-cluster hearing from the shared medium, honoring channels."""
+    medium = phy.medium
+    n = phy.n_sensors
+    hears = np.zeros((n, n), dtype=bool)
+    head_hears = np.zeros(n, dtype=bool)
+    for i in range(n):
+        gi = phy.phy_index(i)
+        head_hears[i] = medium.hears(phy.phy_index(-1), gi)
+        for j in range(n):
+            if i != j:
+                hears[i, j] = medium.hears(gi, phy.phy_index(j))
+    base = phy.cluster
+    return Cluster(
+        hears=hears,
+        head_hears=head_hears,
+        packets=base.packets.copy(),
+        energy=base.energy.copy(),
+        positions=None if base.positions is None else base.positions.copy(),
+        head_position=None if base.head_position is None else base.head_position.copy(),
+    )
+
+
+def _start_delayed(sim: Simulator, mac: PollingClusterMac, n_cycles: int, delay: float) -> None:
+    """Put the cluster to sleep until its token window, then run."""
+    if delay <= 0:
+        mac.start(n_cycles)
+        return
+    for agent in mac.sensors:
+        agent.trx.sleep()
+        sim.at(delay, agent.trx.wake)
+    sim.at(delay, mac.start, n_cycles)

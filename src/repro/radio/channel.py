@@ -1,0 +1,213 @@
+"""The shared wireless medium: SINR capture, collisions, carrier sense.
+
+One :class:`RadioMedium` serves all nodes of a simulation.  Node *i*'s
+position and transmit power live in arrays; pairwise receive powers are the
+vectorized product of tx power and propagation gain (computed once — nodes
+are static, as in the paper).
+
+Reception semantics (matching ns-2's capture behavior closely enough for
+the reproduced shapes):
+
+* a frame is decodable at node *r* iff its receive power clears the
+  sensitivity threshold, *r* listened continuously for the whole airtime,
+  and the SINR against the **sum** of all overlapping transmissions clears
+  the capture threshold *beta* — accumulated interference, not pairwise
+  (the Sec. III-B / Fig. 3 point);
+* carrier sense reports busy when total in-air power at the node exceeds
+  the CS threshold (S-MAC's CSMA needs this);
+* the medium is oblivious to addressing: every listener that decodes gets
+  the frame, and the MAC filters by destination (overhearing costs energy,
+  exactly the waste the paper attributes to contention MACs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..sim.kernel import Simulator
+from ..sim.trace import Tracer
+from ..sim.units import transmission_time
+from .packet import Frame
+
+__all__ = ["RadioMedium", "ActiveTransmission"]
+
+
+@dataclass
+class ActiveTransmission:
+    """A frame currently in the air."""
+
+    sender: int
+    frame: Frame
+    start: float
+    end: float
+    # node -> accumulated overlapping interference power (filled as other
+    # transmissions start/stop while this one is in the air)
+    interferers: list["ActiveTransmission"] = field(default_factory=list)
+
+
+class RadioMedium:
+    """The broadcast channel shared by all nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        positions: np.ndarray,
+        tx_power_w: np.ndarray,
+        propagation,
+        bitrate_bps: float = 200_000.0,
+        rx_sensitivity_w: float = 1e-11,
+        cs_threshold_w: float = 1e-12,
+        capture_beta: float = 10.0,
+        noise_w: float = 1e-13,
+        tracer: Tracer | None = None,
+        frame_error_rate: float = 0.0,
+        error_seed: int = 0,
+    ):
+        self.sim = sim
+        self.positions = np.asarray(positions, dtype=np.float64)
+        self.n_nodes = self.positions.shape[0]
+        tx_power_w = np.asarray(tx_power_w, dtype=np.float64)
+        if tx_power_w.shape != (self.n_nodes,):
+            raise ValueError(
+                f"tx_power_w must have shape ({self.n_nodes},), got {tx_power_w.shape}"
+            )
+        self.bitrate = float(bitrate_bps)
+        self.rx_sensitivity = float(rx_sensitivity_w)
+        self.cs_threshold = float(cs_threshold_w)
+        self.beta = float(capture_beta)
+        self.noise = float(noise_w)
+        self.tracer = tracer or Tracer()
+        # rx_power[r, s]: what r sees when s transmits.
+        diff = self.positions[:, np.newaxis, :] - self.positions[np.newaxis, :, :]
+        dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        gains = propagation.gain_matrix(dist)
+        self.rx_power = gains * tx_power_w[np.newaxis, :]
+        np.fill_diagonal(self.rx_power, 0.0)
+        if not 0.0 <= frame_error_rate < 1.0:
+            raise ValueError(f"frame error rate must be in [0,1), got {frame_error_rate}")
+        self.frame_error_rate = float(frame_error_rate)
+        self._error_rng = np.random.default_rng(error_seed)
+        # Radio channel per node (Sec. V-G: adjacent clusters on different
+        # channels).  Same-channel transmissions interfere; cross-channel
+        # ones are mutually invisible.
+        self.channels = np.zeros(self.n_nodes, dtype=np.int64)
+        self._active: list[ActiveTransmission] = []
+        self._transceivers: dict[int, "object"] = {}
+        # Hooks the transceivers register to learn about medium activity.
+        self._activity_listeners: list[Callable[[], None]] = []
+
+    # -- registration -------------------------------------------------------------
+
+    def register(self, node: int, transceiver) -> None:
+        if node in self._transceivers:
+            raise ValueError(f"node {node} already registered")
+        self._transceivers[node] = transceiver
+
+    def add_activity_listener(self, fn: Callable[[], None]) -> None:
+        self._activity_listeners.append(fn)
+
+    def set_channel(self, node: int, channel: int) -> None:
+        """Assign a node's radio channel (default: everyone on channel 0)."""
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} out of range")
+        self.channels[node] = int(channel)
+
+    # -- queries -------------------------------------------------------------------
+
+    def airtime(self, frame: Frame) -> float:
+        return transmission_time(frame.size_bytes, self.bitrate)
+
+    def in_air_power_at(self, node: int, exclude_sender: int | None = None) -> float:
+        """Total power node currently sees from active same-channel senders."""
+        total = 0.0
+        ch = self.channels[node]
+        for tx in self._active:
+            if tx.sender == node or tx.sender == exclude_sender:
+                continue
+            if self.channels[tx.sender] != ch:
+                continue
+            total += float(self.rx_power[node, tx.sender])
+        return total
+
+    def carrier_busy(self, node: int) -> bool:
+        """Carrier-sense: anything audible above the CS threshold?"""
+        return self.in_air_power_at(node) >= self.cs_threshold
+
+    def hears(self, receiver: int, sender: int) -> bool:
+        """Static link predicate (power alone clears sensitivity & capture)."""
+        p = float(self.rx_power[receiver, sender])
+        return p >= self.rx_sensitivity and p >= self.beta * self.noise
+
+    def hearing_matrix(self) -> np.ndarray:
+        """Boolean static connectivity of the whole medium."""
+        ok = (self.rx_power >= self.rx_sensitivity) & (
+            self.rx_power >= self.beta * self.noise
+        )
+        np.fill_diagonal(ok, False)
+        return ok
+
+    # -- transmission lifecycle ------------------------------------------------------
+
+    def begin_transmission(self, sender: int, frame: Frame) -> ActiveTransmission:
+        """Called by the sender's transceiver; returns the in-air record."""
+        now = self.sim.now
+        record = ActiveTransmission(
+            sender=sender, frame=frame, start=now, end=now + self.airtime(frame)
+        )
+        # Mutual interference bookkeeping with everything already in the air.
+        for other in self._active:
+            other.interferers.append(record)
+            record.interferers.append(other)
+        self._active.append(record)
+        self.tracer.emit(now, "phy_tx_start", node=sender, frame=frame.ftype.value)
+        self.sim.at(record.end, self._end_transmission, record)
+        self._notify_activity()
+        return record
+
+    def _end_transmission(self, record: ActiveTransmission) -> None:
+        self._active.remove(record)
+        now = self.sim.now
+        self.tracer.emit(now, "phy_tx_end", node=record.sender, frame=record.frame.ftype.value)
+        # Deliver to every node that could decode it.
+        for node, trx in self._transceivers.items():
+            if node == record.sender:
+                continue
+            outcome = self._decode_outcome(node, record, trx)
+            if outcome == "ok":
+                self.tracer.emit(
+                    now, "phy_rx_ok", node=node, frame=record.frame.ftype.value
+                )
+                trx.deliver(record.frame, float(self.rx_power[node, record.sender]))
+            elif outcome == "collision":
+                self.tracer.emit(
+                    now, "phy_rx_collision", node=node, frame=record.frame.ftype.value
+                )
+                trx.deliver_garbled(record.frame)
+        self._notify_activity()
+
+    def _decode_outcome(self, node: int, record: ActiveTransmission, trx) -> str:
+        """'ok', 'collision' (audible but broken), or 'inaudible'."""
+        if self.channels[node] != self.channels[record.sender]:
+            return "inaudible"  # tuned to a different channel
+        signal = float(self.rx_power[node, record.sender])
+        if signal < self.rx_sensitivity:
+            return "inaudible"
+        if not trx.listened_through(record.start, record.end):
+            return "inaudible"  # asleep or transmitting; never heard it
+        interference = sum(
+            float(self.rx_power[node, other.sender])
+            for other in record.interferers
+            if other.sender != node and self.channels[other.sender] == self.channels[node]
+        )
+        if signal < self.beta * (self.noise + interference):
+            return "collision"
+        if self.frame_error_rate > 0.0 and self._error_rng.random() < self.frame_error_rate:
+            return "collision"  # random bit errors: audible but undecodable
+        return "ok"
+
+    def _notify_activity(self) -> None:
+        for fn in self._activity_listeners:
+            fn()

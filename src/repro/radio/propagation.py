@@ -1,0 +1,167 @@
+"""Radio propagation models (the ns-2 stand-ins used by Sec. VI).
+
+The paper's evaluation uses the **two-ray ground** model.  We implement it
+exactly as ns-2 does: Friis free-space up to the crossover distance
+``d_c = 4*pi*ht*hr / lambda``, and the fourth-power ground-reflection law
+beyond it.  Free-space and log-normal shadowing are provided for ablations
+(shadowing demonstrates the "coverage is not a disc" point of Sec. III-B).
+
+All models expose ``gain(d)`` (power gain, multiply by tx power to get rx
+power) and vectorized ``gain_matrix(dist)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FreeSpace",
+    "TwoRayGround",
+    "LogNormalShadowing",
+    "SPEED_OF_LIGHT",
+    "range_for_threshold",
+]
+
+SPEED_OF_LIGHT: float = 299_792_458.0
+
+
+@dataclass(frozen=True)
+class FreeSpace:
+    """Friis free-space: gain = (Gt*Gr*lambda^2) / ((4*pi*d)^2 * L)."""
+
+    frequency_hz: float = 914e6  # the classic ns-2 WaveLAN default
+    gt: float = 1.0
+    gr: float = 1.0
+    system_loss: float = 1.0
+
+    @property
+    def wavelength(self) -> float:
+        return SPEED_OF_LIGHT / self.frequency_hz
+
+    def gain(self, d: float) -> float:
+        if d <= 0:
+            raise ValueError(f"distance must be positive, got {d}")
+        lam = self.wavelength
+        return (self.gt * self.gr * lam * lam) / (
+            (4.0 * np.pi * d) ** 2 * self.system_loss
+        )
+
+    def gain_matrix(self, dist: np.ndarray) -> np.ndarray:
+        dist = np.asarray(dist, dtype=np.float64)
+        lam = self.wavelength
+        with np.errstate(divide="ignore"):
+            g = (self.gt * self.gr * lam * lam) / (
+                (4.0 * np.pi * dist) ** 2 * self.system_loss
+            )
+        g[~np.isfinite(g)] = 0.0  # zero-distance entries (the diagonal)
+        return g
+
+
+@dataclass(frozen=True)
+class TwoRayGround:
+    """ns-2's TwoRayGround: Friis below the crossover, d^-4 law above.
+
+    gain(d) = Gt*Gr*ht^2*hr^2 / (d^4 * L) for d > d_c, Friis otherwise,
+    with d_c = 4*pi*ht*hr/lambda.
+    """
+
+    frequency_hz: float = 914e6
+    ht: float = 1.5  # antenna heights (ns-2 defaults), meters
+    hr: float = 1.5
+    gt: float = 1.0
+    gr: float = 1.0
+    system_loss: float = 1.0
+
+    @property
+    def wavelength(self) -> float:
+        return SPEED_OF_LIGHT / self.frequency_hz
+
+    @property
+    def crossover_distance(self) -> float:
+        return 4.0 * np.pi * self.ht * self.hr / self.wavelength
+
+    def _friis(self) -> FreeSpace:
+        return FreeSpace(
+            frequency_hz=self.frequency_hz,
+            gt=self.gt,
+            gr=self.gr,
+            system_loss=self.system_loss,
+        )
+
+    def gain(self, d: float) -> float:
+        if d <= 0:
+            raise ValueError(f"distance must be positive, got {d}")
+        if d <= self.crossover_distance:
+            return self._friis().gain(d)
+        return (self.gt * self.gr * self.ht**2 * self.hr**2) / (
+            d**4 * self.system_loss
+        )
+
+    def gain_matrix(self, dist: np.ndarray) -> np.ndarray:
+        dist = np.asarray(dist, dtype=np.float64)
+        friis = self._friis().gain_matrix(dist)
+        with np.errstate(divide="ignore"):
+            ground = (self.gt * self.gr * self.ht**2 * self.hr**2) / (
+                dist**4 * self.system_loss
+            )
+        ground[~np.isfinite(ground)] = 0.0
+        return np.where(dist <= self.crossover_distance, friis, ground)
+
+
+@dataclass(frozen=True)
+class LogNormalShadowing:
+    """Log-distance path loss with per-link log-normal shadowing.
+
+    Deterministic per (seed, link): the fade is frozen at construction via
+    the hash of endpoints, so the "arbitrarily shaped coverage areas" of
+    Sec. III-B are stable across a run (links don't flap randomly).
+    """
+
+    reference: TwoRayGround = TwoRayGround()
+    sigma_db: float = 4.0
+    seed: int = 0
+
+    def gain(self, d: float, link_key: tuple[int, int] | None = None) -> float:
+        base = self.reference.gain(d)
+        if self.sigma_db == 0.0 or link_key is None:
+            return base
+        rng = np.random.default_rng(
+            (self.seed * 1_000_003 + hash(link_key)) & 0x7FFFFFFF
+        )
+        fade_db = rng.normal(0.0, self.sigma_db)
+        return base * 10 ** (fade_db / 10.0)
+
+    def gain_matrix(self, dist: np.ndarray) -> np.ndarray:
+        base = self.reference.gain_matrix(dist)
+        if self.sigma_db == 0.0:
+            return base
+        rng = np.random.default_rng(self.seed)
+        fades_db = rng.normal(0.0, self.sigma_db, size=base.shape)
+        # Symmetrize: a link fades identically in both directions.
+        fades_db = np.triu(fades_db, k=1)
+        fades_db = fades_db + fades_db.T
+        return base * 10 ** (fades_db / 10.0)
+
+
+def range_for_threshold(model, tx_power_w: float, rx_threshold_w: float) -> float:
+    """Largest distance at which rx power clears the threshold (bisection).
+
+    Used to size deployments: the Sec. VI setup quotes a communication range
+    that we derive from the radio parameters rather than hard-coding.
+    """
+    if tx_power_w <= 0 or rx_threshold_w <= 0:
+        raise ValueError("powers must be positive")
+    lo, hi = 1e-3, 1e-3
+    while tx_power_w * model.gain(hi) >= rx_threshold_w:
+        hi *= 2.0
+        if hi > 1e7:
+            raise ValueError("threshold never reached; check parameters")
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if tx_power_w * model.gain(mid) >= rx_threshold_w:
+            lo = mid
+        else:
+            hi = mid
+    return lo

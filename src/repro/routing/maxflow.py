@@ -1,0 +1,137 @@
+"""Maximum flow, implemented from scratch (no networkx dependency here).
+
+The paper's routing step (Sec. III-A) runs "the Ford-Fulkerson algorithm" on
+a node-split graph.  We implement Edmonds-Karp (BFS augmenting paths —
+Ford-Fulkerson with the shortest-path rule), which is exact, strongly
+polynomial, and deterministic.  Capacities are integers; ``INF`` encodes the
+paper's "infinite capacity" arcs.
+
+The residual-graph representation is the classic paired-edge scheme: edge
+``2k`` and its reverse ``2k+1``, ``residual(e) = cap[e] - flow[e]`` with
+``flow[e^1] = -flow[e]``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["FlowNetwork", "INF"]
+
+INF: int = 10**12
+"""Stand-in for infinite capacity (larger than any meaningful packet total)."""
+
+
+@dataclass
+class _Edge:
+    __slots__ = ("to", "cap", "flow")
+    to: int
+    cap: int
+    flow: int
+
+
+class FlowNetwork:
+    """A directed flow network over nodes ``0..n_nodes-1``.
+
+    >>> g = FlowNetwork(4)
+    >>> _ = g.add_edge(0, 1, 3); _ = g.add_edge(1, 2, 2); _ = g.add_edge(2, 3, 5)
+    >>> g.max_flow(0, 3)
+    2
+    """
+
+    def __init__(self, n_nodes: int):
+        if n_nodes < 1:
+            raise ValueError(f"network needs at least one node, got {n_nodes}")
+        self.n_nodes = n_nodes
+        self._edges: list[_Edge] = []
+        self._adj: list[list[int]] = [[] for _ in range(n_nodes)]
+
+    def add_edge(self, u: int, v: int, cap: int) -> int:
+        """Add arc ``u -> v`` with capacity *cap*; returns the edge id.
+
+        The reverse residual edge is ``id ^ 1``.
+        """
+        if not (0 <= u < self.n_nodes and 0 <= v < self.n_nodes):
+            raise ValueError(f"edge ({u},{v}) out of range for n={self.n_nodes}")
+        if cap < 0:
+            raise ValueError(f"capacity must be non-negative, got {cap}")
+        eid = len(self._edges)
+        self._edges.append(_Edge(v, cap, 0))
+        self._edges.append(_Edge(u, 0, 0))
+        self._adj[u].append(eid)
+        self._adj[v].append(eid + 1)
+        return eid
+
+    def set_capacity(self, edge_id: int, cap: int) -> None:
+        """Change an edge's capacity (flow must be reset before re-solving)."""
+        if cap < 0:
+            raise ValueError(f"capacity must be non-negative, got {cap}")
+        self._edges[edge_id].cap = cap
+
+    def reset_flow(self) -> None:
+        """Zero all flow so the network can be re-solved after capacity edits."""
+        for e in self._edges:
+            e.flow = 0
+
+    def edge_flow(self, edge_id: int) -> int:
+        return self._edges[edge_id].flow
+
+    def edge_residual(self, edge_id: int) -> int:
+        e = self._edges[edge_id]
+        return e.cap - e.flow
+
+    def out_edges(self, u: int) -> list[int]:
+        """Ids of *forward* edges leaving u (even ids only)."""
+        return [eid for eid in self._adj[u] if eid % 2 == 0]
+
+    def edge_endpoints(self, edge_id: int) -> tuple[int, int]:
+        """(u, v) of a forward edge."""
+        if edge_id % 2 != 0:
+            raise ValueError("endpoint query is for forward (even) edge ids")
+        v = self._edges[edge_id].to
+        u = self._edges[edge_id ^ 1].to
+        return u, v
+
+    # -- solving --------------------------------------------------------------
+
+    def max_flow(self, source: int, sink: int) -> int:
+        """Edmonds-Karp max flow from *source* to *sink*; returns its value."""
+        if source == sink:
+            raise ValueError("source and sink must differ")
+        total = 0
+        parent_edge = [-1] * self.n_nodes
+        while True:
+            # BFS for the shortest augmenting path in the residual graph.
+            for i in range(self.n_nodes):
+                parent_edge[i] = -1
+            parent_edge[source] = -2
+            queue: deque[int] = deque([source])
+            found = False
+            while queue and not found:
+                u = queue.popleft()
+                for eid in self._adj[u]:
+                    e = self._edges[eid]
+                    if e.cap - e.flow > 0 and parent_edge[e.to] == -1:
+                        parent_edge[e.to] = eid
+                        if e.to == sink:
+                            found = True
+                            break
+                        queue.append(e.to)
+            if not found:
+                return total
+            # Find bottleneck.
+            bottleneck = INF
+            v = sink
+            while v != source:
+                eid = parent_edge[v]
+                e = self._edges[eid]
+                bottleneck = min(bottleneck, e.cap - e.flow)
+                v = self._edges[eid ^ 1].to
+            # Augment.
+            v = sink
+            while v != source:
+                eid = parent_edge[v]
+                self._edges[eid].flow += bottleneck
+                self._edges[eid ^ 1].flow -= bottleneck
+                v = self._edges[eid ^ 1].to
+            total += bottleneck

@@ -1,0 +1,159 @@
+"""Relaying-path data structures and load accounting.
+
+A *relaying path* (Sec. III-A) is the fixed node sequence a sensor's packets
+follow to the head within a duty cycle, e.g. ``(2, 1, HEAD)`` for the
+paper's Fig. 2 sensor ``s2``.  A :class:`RoutingPlan` assigns one path to
+every sensor that has packets and is the unit the scheduler, the sector
+partitioner, and the lifetime model all consume.
+
+Terminology from the paper:
+
+* **load** of a sensor — packets it must *send out* during a duty cycle:
+  its own plus everything it relays.
+* **hop count** of a sensor — hops its packet travels to reach the head.
+* **dependent** of sensor *s* — a sensor whose relaying path passes
+  through *s*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..topology.cluster import HEAD, Cluster, node_name
+
+__all__ = ["RelayingPath", "RoutingPlan", "validate_path"]
+
+
+RelayingPath = tuple[int, ...]
+"""A path ``(sensor, relay, ..., HEAD)``; the owner is element 0."""
+
+
+def validate_path(cluster: Cluster, path: RelayingPath) -> None:
+    """Raise ``ValueError`` unless *path* is a usable relaying path.
+
+    Checks: starts at a sensor, ends at HEAD (exactly once), consecutive
+    hops are audible in the cluster, and no node repeats (a packet must
+    never loop).
+    """
+    if len(path) < 2:
+        raise ValueError(f"path too short: {path}")
+    if path[-1] != HEAD:
+        raise ValueError(f"path must end at the head, got {path}")
+    if HEAD in path[:-1]:
+        raise ValueError(f"head may only appear as the final hop: {path}")
+    if len(set(path)) != len(path):
+        raise ValueError(f"path revisits a node: {path}")
+    for a, b in zip(path, path[1:]):
+        if not cluster.can_hear(b, a):
+            raise ValueError(
+                f"hop {node_name(a)} -> {node_name(b)} is not audible in the cluster"
+            )
+
+
+@dataclass
+class RoutingPlan:
+    """One duty cycle's routing: a fixed relaying path per active sensor.
+
+    Sensors with zero packets may be omitted (pure relays appear only inside
+    other sensors' paths).  The plan is validated against the cluster on
+    construction.
+    """
+
+    cluster: Cluster
+    paths: dict[int, RelayingPath] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        clean: dict[int, RelayingPath] = {}
+        for sensor, path in self.paths.items():
+            path = tuple(int(x) for x in path)
+            if path[0] != sensor:
+                raise ValueError(
+                    f"path for sensor {sensor} must start at it, got {path}"
+                )
+            validate_path(self.cluster, path)
+            clean[int(sensor)] = path
+        self.paths = clean
+
+    # -- queries --------------------------------------------------------------
+
+    def path_of(self, sensor: int) -> RelayingPath:
+        try:
+            return self.paths[sensor]
+        except KeyError:
+            raise KeyError(f"no relaying path assigned to sensor {sensor}") from None
+
+    def hop_count(self, sensor: int) -> int:
+        """Hops sensor's packet travels to the head."""
+        return len(self.path_of(sensor)) - 1
+
+    def max_hop_count(self) -> int:
+        return max((len(p) - 1 for p in self.paths.values()), default=0)
+
+    def loads(self) -> np.ndarray:
+        """Per-sensor load: own packets plus relayed packets (Sec. III-A).
+
+        Pure relays (zero own packets) still accrue relayed load.
+        """
+        n = self.cluster.n_sensors
+        load = np.zeros(n, dtype=np.int64)
+        for sensor, path in self.paths.items():
+            pk = int(self.cluster.packets[sensor])
+            if pk == 0:
+                continue
+            for node in path[:-1]:  # every non-head node on the path transmits
+                load[node] += pk
+        return load
+
+    def max_load(self) -> int:
+        loads = self.loads()
+        return int(loads.max()) if loads.size else 0
+
+    def dependents(self, sensor: int) -> list[int]:
+        """Sensors (other than *sensor*) whose relaying path passes through it."""
+        out: list[int] = []
+        for owner, path in self.paths.items():
+            if owner != sensor and sensor in path[:-1]:
+                out.append(owner)
+        return sorted(out)
+
+    def first_level_sensor_of(self, sensor: int) -> int:
+        """The last sensor before the head on *sensor*'s path."""
+        return self.path_of(sensor)[-2]
+
+    def active_sensors(self) -> list[int]:
+        """Sensors with at least one packet to send this cycle."""
+        return sorted(
+            s for s in self.paths if self.cluster.packets[s] > 0
+        )
+
+    def used_links(self) -> list[tuple[int, int]]:
+        """All (sender, receiver) links appearing in any active path.
+
+        This is the candidate set for interference probing (Sec. V-E).
+        """
+        links: set[tuple[int, int]] = set()
+        for sensor, path in self.paths.items():
+            if self.cluster.packets[sensor] == 0:
+                continue
+            for a, b in zip(path, path[1:]):
+                links.add((a, b))
+        return sorted(links)
+
+    def subplan(self, sensors: list[int]) -> "RoutingPlan":
+        """The plan restricted to the given packet owners (for sectors)."""
+        return RoutingPlan(
+            cluster=self.cluster,
+            paths={s: self.paths[s] for s in sensors if s in self.paths},
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable listing, e.g. for example scripts."""
+        lines = []
+        for sensor in sorted(self.paths):
+            route = " -> ".join(node_name(x) for x in self.paths[sensor])
+            lines.append(
+                f"{node_name(sensor)} ({int(self.cluster.packets[sensor])} pkt): {route}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""Discrete-event simulation kernel.
+
+This is the substrate that stands in for ns-2 in the paper's evaluation: a
+classic event-heap simulator with deterministic tie-breaking.  Everything in
+the PHY/MAC stack (``repro.radio``, ``repro.mac``, ``repro.net``) runs on top
+of a :class:`Simulator`.
+
+Design notes
+------------
+* Events at equal timestamps fire in FIFO scheduling order (a monotone
+  sequence number breaks ties), so runs are bit-for-bit reproducible.
+* Cancellation is O(1): a cancelled :class:`EventHandle` is left in the heap
+  and skipped when popped (lazy deletion), which is the standard trick for
+  timer-heavy network simulations where most timers are cancelled.
+* The kernel knows nothing about radios or packets; it only runs callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["Simulator", "EventHandle", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, re-running, ...)."""
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: float
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """A scheduled callback; supports O(1) cancellation.
+
+    Users obtain handles from :meth:`Simulator.schedule` /
+    :meth:`Simulator.at` and may call :meth:`cancel` any time before the
+    event fires.
+    """
+
+    __slots__ = ("time", "callback", "args", "_cancelled", "_fired")
+
+    def __init__(self, time: float, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent; no-op if already fired."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and may still fire."""
+        return not (self._cancelled or self._fired)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
+        return f"<EventHandle t={self.time:.6f} {state} {getattr(self.callback, '__name__', self.callback)!r}>"
+
+
+class Simulator:
+    """Event-heap discrete-event simulator.
+
+    >>> sim = Simulator()
+    >>> out = []
+    >>> _ = sim.schedule(1.0, out.append, "a")
+    >>> _ = sim.schedule(0.5, out.append, "b")
+    >>> sim.run()
+    >>> out
+    ['b', 'a']
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: list[_HeapEntry] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending_count(self) -> int:
+        """Number of heap entries not yet popped (includes cancelled ones)."""
+        return len(self._heap)
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event, or ``None`` if the heap is drained."""
+        self._drop_dead_entries()
+        return self._heap[0].time if self._heap else None
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule *callback(*args)* to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.at(self._now + delay, callback, *args)
+
+    def at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule *callback(*args)* at absolute simulation *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        handle = EventHandle(time, callback, args)
+        heapq.heappush(self._heap, _HeapEntry(time, next(self._seq), handle))
+        return handle
+
+    # -- execution ----------------------------------------------------------
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def run(self, until: float | None = None) -> None:
+        """Run events until the heap drains, ``until`` is reached, or :meth:`stop`.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        on return (even if the heap drained earlier), mirroring ns-2's
+        ``$ns run`` + halt-at semantics so that duration-based statistics
+        (energy, active time) integrate over the full window.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._heap and not self._stopped:
+                entry = self._heap[0]
+                if entry.handle._cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and entry.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = entry.time
+                handle = entry.handle
+                handle._fired = True
+                handle.callback(*handle.args)
+                self.events_processed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Run a single event.  Returns ``False`` if no live event remained."""
+        self._drop_dead_entries()
+        if not self._heap:
+            return False
+        entry = heapq.heappop(self._heap)
+        self._now = entry.time
+        entry.handle._fired = True
+        entry.handle.callback(*entry.handle.args)
+        self.events_processed += 1
+        return True
+
+    # -- internals ----------------------------------------------------------
+
+    def _drop_dead_entries(self) -> None:
+        while self._heap and self._heap[0].handle._cancelled:
+            heapq.heappop(self._heap)
+
+    def drain(self) -> Iterator[float]:  # pragma: no cover - convenience
+        """Yield event timestamps while stepping to exhaustion (debug helper)."""
+        while self.step():
+            yield self._now

@@ -1,0 +1,73 @@
+"""Structured event tracing and counters.
+
+A :class:`Tracer` is a cheap pub/sub sink the PHY/MAC layers emit structured
+records into.  Experiments attach collectors (throughput counters, energy
+meters); tests attach assertion probes.  When nothing subscribes, emitting is
+a single dict lookup — cheap enough to leave on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event: what happened, when, to whom."""
+
+    time: float
+    kind: str
+    node: int | None = None
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Pub/sub trace sink with per-kind counters.
+
+    >>> t = Tracer()
+    >>> seen = []
+    >>> t.subscribe("rx_ok", lambda rec: seen.append(rec))
+    >>> t.emit(1.5, "rx_ok", node=3, size=80)
+    >>> t.counts["rx_ok"], seen[0].detail["size"]
+    (1, 80)
+    """
+
+    def __init__(self, keep_records: bool = False):
+        self._subs: dict[str, list[Callable[[TraceRecord], None]]] = defaultdict(list)
+        self._all_subs: list[Callable[[TraceRecord], None]] = []
+        self.counts: Counter[str] = Counter()
+        self.keep_records = keep_records
+        self.records: list[TraceRecord] = []
+
+    def subscribe(self, kind: str, fn: Callable[[TraceRecord], None]) -> None:
+        """Call *fn* for every record of *kind* (``"*"`` matches all kinds)."""
+        if kind == "*":
+            self._all_subs.append(fn)
+        else:
+            self._subs[kind].append(fn)
+
+    def emit(self, time: float, kind: str, node: int | None = None, **detail: Any) -> None:
+        """Record an event; dispatch to subscribers."""
+        self.counts[kind] += 1
+        if not (self._subs or self._all_subs or self.keep_records):
+            return
+        rec = TraceRecord(time=time, kind=kind, node=node, detail=detail)
+        if self.keep_records:
+            self.records.append(rec)
+        for fn in self._subs.get(kind, ()):
+            fn(rec)
+        for fn in self._all_subs:
+            fn(rec)
+
+    def records_of(self, kind: str) -> list[TraceRecord]:
+        """All retained records of *kind* (requires ``keep_records=True``)."""
+        return [r for r in self.records if r.kind == kind]
+
+    def reset(self) -> None:
+        """Clear counters and retained records (subscriptions persist)."""
+        self.counts.clear()
+        self.records.clear()

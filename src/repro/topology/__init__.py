@@ -1,0 +1,52 @@
+"""Deployments, clusters and the TSRF gadget."""
+
+from .cluster import HEAD, Cluster, node_name
+from .deployment import (
+    DEFAULT_RANGE_M,
+    DEFAULT_SIDE_M,
+    Deployment,
+    grid,
+    line,
+    uniform_square,
+)
+from .forming import (
+    DiscoveryResult,
+    FormedNetwork,
+    bfs_discover,
+    cluster_adjacency,
+    form_clusters,
+    voronoi_assignment,
+)
+from .geometry import (
+    as_positions,
+    distances_to_point,
+    nearest_index,
+    pairwise_distances,
+    within_range_adjacency,
+)
+from .tsrf import Tsrf, build_tsrf
+
+__all__ = [
+    "HEAD",
+    "Cluster",
+    "node_name",
+    "Deployment",
+    "uniform_square",
+    "grid",
+    "line",
+    "DEFAULT_SIDE_M",
+    "DEFAULT_RANGE_M",
+    "Tsrf",
+    "build_tsrf",
+    "voronoi_assignment",
+    "bfs_discover",
+    "DiscoveryResult",
+    "form_clusters",
+    "FormedNetwork",
+    "cluster_adjacency",
+    "as_positions",
+    "pairwise_distances",
+    "distances_to_point",
+    "within_range_adjacency",
+    "nearest_index",
+]

@@ -1,0 +1,222 @@
+"""The cluster abstraction: one head plus its basic sensors.
+
+Node identifiers
+----------------
+Sensors are integers ``0..n-1``; the cluster head is the sentinel
+:data:`HEAD` (= -1).  Every layer above (routing, scheduling, MAC) uses these
+identifiers.
+
+Connectivity is *directional* and *arbitrary* — the paper explicitly refuses
+to assume disc-shaped coverage (Sec. III-B), so a :class:`Cluster` stores an
+explicit boolean hearing matrix.  Geometric deployments produce symmetric
+matrices; gadget constructions and probing-discovered clusters need not.
+
+The head is special (Sec. I): its broadcasts reach every sensor in the
+cluster, so only the *uplink* direction (which sensors the head can hear) is
+recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .deployment import Deployment
+
+__all__ = ["HEAD", "Cluster", "node_name"]
+
+HEAD: int = -1
+"""Sentinel node id for the cluster head."""
+
+
+def node_name(node: int) -> str:
+    """Human-readable node label used in schedules and error messages."""
+    return "t" if node == HEAD else f"s{node}"
+
+
+@dataclass
+class Cluster:
+    """A cluster: hearing relationships, per-sensor packet counts and energy.
+
+    Parameters
+    ----------
+    hears:
+        ``(n, n)`` boolean; ``hears[i, j]`` is True when sensor *i* can
+        correctly receive transmissions from sensor *j*.  The diagonal must
+        be False.
+    head_hears:
+        ``(n,)`` boolean; which sensors the head receives directly
+        ("level-1" / "first-level" sensors).
+    packets:
+        ``(n,)`` non-negative ints; packets each sensor must deliver this
+        duty cycle.  Defaults to one each (the X1MHP case).
+    energy:
+        ``(n,)`` positive floats; relative residual energy levels used by
+        the energy-aware routing variant.  Defaults to all-equal.
+    positions / head_position:
+        optional geometry carried along for PHY-backed simulations.
+    """
+
+    hears: np.ndarray
+    head_hears: np.ndarray
+    packets: np.ndarray = field(default=None)  # type: ignore[assignment]
+    energy: np.ndarray = field(default=None)  # type: ignore[assignment]
+    positions: np.ndarray | None = None
+    head_position: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.hears = np.asarray(self.hears, dtype=bool)
+        self.head_hears = np.asarray(self.head_hears, dtype=bool)
+        n = self.hears.shape[0]
+        if self.hears.shape != (n, n):
+            raise ValueError(f"hears must be square, got {self.hears.shape}")
+        if self.head_hears.shape != (n,):
+            raise ValueError(
+                f"head_hears must have shape ({n},), got {self.head_hears.shape}"
+            )
+        if np.diagonal(self.hears).any():
+            raise ValueError("a sensor cannot hear itself (diagonal must be False)")
+        if self.packets is None:
+            self.packets = np.ones(n, dtype=np.int64)
+        else:
+            self.packets = np.asarray(self.packets, dtype=np.int64)
+            if self.packets.shape != (n,):
+                raise ValueError(f"packets must have shape ({n},)")
+            if (self.packets < 0).any():
+                raise ValueError("packet counts must be non-negative")
+        if self.energy is None:
+            self.energy = np.ones(n, dtype=np.float64)
+        else:
+            self.energy = np.asarray(self.energy, dtype=np.float64)
+            if self.energy.shape != (n,):
+                raise ValueError(f"energy must have shape ({n},)")
+            if (self.energy <= 0).any():
+                raise ValueError("energy levels must be positive")
+
+    # -- basic queries --------------------------------------------------------
+
+    @property
+    def n_sensors(self) -> int:
+        return int(self.hears.shape[0])
+
+    @property
+    def total_packets(self) -> int:
+        return int(self.packets.sum())
+
+    def can_hear(self, receiver: int, sender: int) -> bool:
+        """Can *receiver* decode transmissions from *sender*?
+
+        The head hears exactly the ``head_hears`` sensors; every sensor hears
+        the head (the head's transmission power covers the cluster).
+        """
+        if sender == receiver:
+            return False
+        if receiver == HEAD:
+            return bool(self.head_hears[sender])
+        if sender == HEAD:
+            return True
+        return bool(self.hears[receiver, sender])
+
+    def neighbors_of(self, sensor: int) -> list[int]:
+        """Nodes that can hear *sensor* (possible next hops), head included."""
+        out: list[int] = list(np.flatnonzero(self.hears[:, sensor]))
+        out = [int(x) for x in out]
+        if self.head_hears[sensor]:
+            out.append(HEAD)
+        return out
+
+    def first_level_sensors(self) -> list[int]:
+        """Sensors the head hears directly (hop count 1 candidates)."""
+        return [int(i) for i in np.flatnonzero(self.head_hears)]
+
+    def is_connected(self) -> bool:
+        """Does every sensor have some multi-hop path to the head?"""
+        n = self.n_sensors
+        reached = self.head_hears.copy()
+        frontier = reached.copy()
+        while frontier.any():
+            # j joins if some reached i hears j  <=>  hears[reached, j].any()
+            newly = self.hears[frontier, :].any(axis=0) & ~reached
+            reached |= newly
+            frontier = newly
+        return bool(reached.all()) if n else True
+
+    def min_hop_counts(self) -> np.ndarray:
+        """BFS hop count of each sensor to the head (np.inf if unreachable)."""
+        n = self.n_sensors
+        hops = np.full(n, np.inf)
+        frontier = self.head_hears.copy()
+        hops[frontier] = 1
+        level = 1
+        while frontier.any():
+            level += 1
+            # next: unvisited sensors j such that some frontier sensor hears j.
+            audible = self.hears[frontier, :].any(axis=0)
+            newly = audible & np.isinf(hops)
+            hops[newly] = level
+            frontier = newly
+        return hops
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_deployment(
+        cls,
+        dep: Deployment,
+        packets: np.ndarray | None = None,
+        energy: np.ndarray | None = None,
+    ) -> "Cluster":
+        """Build a cluster from a geometric deployment (symmetric hearing)."""
+        return cls(
+            hears=dep.sensor_adjacency(),
+            head_hears=dep.head_reachable(),
+            packets=packets,
+            energy=energy,
+            positions=dep.positions.copy(),
+            head_position=dep.head_position.copy(),
+        )
+
+    @classmethod
+    def from_edges(
+        cls,
+        n_sensors: int,
+        sensor_edges: list[tuple[int, int]],
+        head_links: list[int],
+        packets: np.ndarray | list[int] | None = None,
+        symmetric: bool = True,
+    ) -> "Cluster":
+        """Build a cluster from explicit edges.
+
+        ``sensor_edges`` lists ``(a, b)`` meaning *a hears b* (and *b hears a*
+        when ``symmetric``); ``head_links`` lists sensors the head hears.
+        """
+        hears = np.zeros((n_sensors, n_sensors), dtype=bool)
+        for a, b in sensor_edges:
+            if not (0 <= a < n_sensors and 0 <= b < n_sensors):
+                raise ValueError(f"edge ({a},{b}) out of range for n={n_sensors}")
+            if a == b:
+                raise ValueError(f"self-loop ({a},{b}) not allowed")
+            hears[a, b] = True
+            if symmetric:
+                hears[b, a] = True
+        head_hears = np.zeros(n_sensors, dtype=bool)
+        for s in head_links:
+            if not 0 <= s < n_sensors:
+                raise ValueError(f"head link {s} out of range for n={n_sensors}")
+            head_hears[s] = True
+        pk = None if packets is None else np.asarray(packets, dtype=np.int64)
+        return cls(hears=hears, head_hears=head_hears, packets=pk)
+
+    def with_packets(self, packets: np.ndarray | list[int]) -> "Cluster":
+        """A copy of this cluster with different per-sensor packet counts."""
+        return Cluster(
+            hears=self.hears.copy(),
+            head_hears=self.head_hears.copy(),
+            packets=np.asarray(packets, dtype=np.int64),
+            energy=self.energy.copy(),
+            positions=None if self.positions is None else self.positions.copy(),
+            head_position=None
+            if self.head_position is None
+            else self.head_position.copy(),
+        )

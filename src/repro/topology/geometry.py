@@ -1,0 +1,59 @@
+"""Vectorized planar geometry helpers.
+
+Positions throughout the library are ``(n, 2)`` float arrays in meters.
+These helpers centralize the distance computations that the propagation,
+deployment, and cluster-forming code all need, vectorized with numpy per the
+hpc-parallel guides (no per-pair Python loops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "as_positions",
+    "pairwise_distances",
+    "distances_to_point",
+    "within_range_adjacency",
+    "nearest_index",
+]
+
+
+def as_positions(points) -> np.ndarray:
+    """Coerce input to a C-contiguous ``(n, 2)`` float64 array, validating shape."""
+    arr = np.ascontiguousarray(points, dtype=np.float64)
+    if arr.ndim == 1 and arr.shape[0] == 2:
+        arr = arr[np.newaxis, :]
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"positions must have shape (n, 2), got {arr.shape}")
+    return arr
+
+
+def pairwise_distances(positions) -> np.ndarray:
+    """Full symmetric Euclidean distance matrix, shape ``(n, n)``."""
+    pos = as_positions(positions)
+    diff = pos[:, np.newaxis, :] - pos[np.newaxis, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+
+def distances_to_point(positions, point) -> np.ndarray:
+    """Distances from each position to a single *point*, shape ``(n,)``."""
+    pos = as_positions(positions)
+    pt = np.asarray(point, dtype=np.float64).reshape(2)
+    diff = pos - pt
+    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
+def within_range_adjacency(positions, comm_range: float) -> np.ndarray:
+    """Boolean adjacency: ``adj[i, j]`` iff ``0 < dist(i, j) <= comm_range``."""
+    if comm_range <= 0:
+        raise ValueError(f"communication range must be positive, got {comm_range}")
+    dist = pairwise_distances(positions)
+    adj = dist <= comm_range
+    np.fill_diagonal(adj, False)
+    return adj
+
+
+def nearest_index(positions, point) -> int:
+    """Index of the position closest to *point*."""
+    return int(np.argmin(distances_to_point(positions, point)))

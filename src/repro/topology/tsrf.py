@@ -1,0 +1,86 @@
+"""TSRF: the "Two-level Star with Relaying only in the First level" gadget.
+
+A TSRF (paper Sec. III-C.1, Fig. 4a) is a tree rooted at the cluster head
+with *k* branches; branch *i* consists of a first-level sensor ``s_i``
+(heard by the head) and a second-level sensor ``s'_i`` heard only by
+``s_i``.  Each second-level sensor has exactly one packet; first-level
+sensors have none.  The relaying path for branch *i*'s packet is
+``s'_i -> s_i -> t``.
+
+This module builds the cluster structure; the NP-hardness reduction logic
+(arbitrary interference patterns from a graph, Hamiltonian-path
+equivalence) lives in :mod:`repro.hardness.tsrfp`.
+
+Node numbering convention: first-level sensor of branch *i* is node ``i``;
+second-level sensor of branch *i* is node ``k + i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cluster import HEAD, Cluster
+
+__all__ = ["Tsrf", "build_tsrf"]
+
+
+@dataclass(frozen=True)
+class Tsrf:
+    """A TSRF instance: the cluster plus branch-index helpers."""
+
+    cluster: Cluster
+    n_branches: int
+
+    def first_level(self, branch: int) -> int:
+        """Node id of ``s_branch`` (the relay)."""
+        self._check(branch)
+        return branch
+
+    def second_level(self, branch: int) -> int:
+        """Node id of ``s'_branch`` (the packet source)."""
+        self._check(branch)
+        return self.n_branches + branch
+
+    def branch_of(self, node: int) -> int:
+        """Which branch a node belongs to."""
+        if node == HEAD:
+            raise ValueError("the head belongs to no branch")
+        if not 0 <= node < 2 * self.n_branches:
+            raise ValueError(f"node {node} out of range")
+        return node % self.n_branches
+
+    def relaying_path(self, branch: int) -> tuple[int, ...]:
+        """The forced path ``(s'_i, s_i, HEAD)`` for branch *i*'s packet."""
+        self._check(branch)
+        return (self.second_level(branch), self.first_level(branch), HEAD)
+
+    def _check(self, branch: int) -> None:
+        if not 0 <= branch < self.n_branches:
+            raise ValueError(
+                f"branch {branch} out of range (TSRF has {self.n_branches})"
+            )
+
+
+def build_tsrf(n_branches: int) -> Tsrf:
+    """Construct a TSRF cluster with *n_branches* branches.
+
+    Second-level sensors carry one packet each; first-level sensors carry
+    none (matching the gadget in the NP-completeness proof of Lemma 1).
+    """
+    if n_branches < 1:
+        raise ValueError(f"TSRF needs at least one branch, got {n_branches}")
+    k = n_branches
+    n = 2 * k
+    hears = np.zeros((n, n), dtype=bool)
+    for i in range(k):
+        # s_i and s'_i hear each other; no other sensor links exist.
+        hears[i, k + i] = True
+        hears[k + i, i] = True
+    head_hears = np.zeros(n, dtype=bool)
+    head_hears[:k] = True
+    packets = np.zeros(n, dtype=np.int64)
+    packets[k:] = 1
+    cluster = Cluster(hears=hears, head_hears=head_hears, packets=packets)
+    return Tsrf(cluster=cluster, n_branches=k)

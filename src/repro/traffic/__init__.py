@@ -1,0 +1,5 @@
+"""Workload generation."""
+
+from .cbr import CbrSource, attach_cbr_sources, packets_per_cycle
+
+__all__ = ["CbrSource", "attach_cbr_sources", "packets_per_cycle"]

@@ -1,0 +1,77 @@
+"""Shared fixtures: canonical clusters, oracles and deployments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.interference import TabulatedOracle
+from repro.mac.base import geometric_oracle
+from repro.topology import HEAD, Cluster, uniform_square
+
+
+@pytest.fixture
+def fig2_cluster() -> Cluster:
+    """The paper's Fig. 2: s0 relays for s1; s2 is head-adjacent."""
+    return Cluster.from_edges(
+        3, sensor_edges=[(0, 1)], head_links=[0, 2], packets=[0, 1, 1]
+    )
+
+
+@pytest.fixture
+def fig2_oracle() -> TabulatedOracle:
+    return TabulatedOracle(
+        compatible_pairs=[((1, 0), (2, HEAD))],
+        valid_links=[(1, 0), (0, HEAD), (2, HEAD)],
+        max_group_size=2,
+    )
+
+
+@pytest.fixture
+def chain_cluster() -> Cluster:
+    """A 4-sensor chain s3-s2-s1-s0-head, one packet each."""
+    return Cluster.from_edges(
+        4,
+        sensor_edges=[(0, 1), (1, 2), (2, 3)],
+        head_links=[0],
+        packets=[1, 1, 1, 1],
+    )
+
+
+@pytest.fixture
+def star_cluster() -> Cluster:
+    """Five head-adjacent sensors (single-hop polling case)."""
+    return Cluster.from_edges(
+        5, sensor_edges=[], head_links=[0, 1, 2, 3, 4], packets=[1, 2, 0, 1, 1]
+    )
+
+
+def permissive_oracle(max_group_size: int = 2) -> "AllCompatibleOracle":
+    return AllCompatibleOracle(max_group_size=max_group_size)
+
+
+class AllCompatibleOracle(TabulatedOracle):
+    """Every node-disjoint group is compatible (structural limits only)."""
+
+    def __init__(self, max_group_size: int = 2):
+        super().__init__(compatible_pairs=[], valid_links=None, max_group_size=max_group_size)
+
+    def _single_ok(self, link):
+        return True
+
+    def _pair_compatible(self, a, b):
+        return True
+
+
+@pytest.fixture
+def all_compatible():
+    return AllCompatibleOracle()
+
+
+@pytest.fixture
+def geo_cluster_oracle():
+    """A 12-sensor geometric cluster with its physical oracle."""
+    dep = uniform_square(12, seed=5)
+    geo = Cluster.from_deployment(dep)
+    oracle, cluster = geometric_oracle(geo)
+    return cluster, oracle

@@ -1,0 +1,116 @@
+"""Tests for ack collection: set cover, BFS fallback, merged-ack polling."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    OnlinePollingScheduler,
+    bfs_path_to_head,
+    greedy_weighted_set_cover,
+    plan_ack_collection,
+    run_ack_collection,
+)
+from repro.mac.base import geometric_oracle
+from repro.routing import solve_min_max_load
+from repro.topology import HEAD, Cluster, uniform_square
+
+from ..conftest import AllCompatibleOracle
+
+
+# --- greedy weighted set cover ----------------------------------------------------
+
+def test_set_cover_basic():
+    subsets = [
+        (frozenset({0, 1, 2}), 3.0),
+        (frozenset({2, 3}), 1.0),
+        (frozenset({0, 1}), 1.0),
+    ]
+    chosen = greedy_weighted_set_cover({0, 1, 2, 3}, subsets)
+    # greedy: {2,3} (0.5) then {0,1} (0.5): total cost 2 < the 3-cost set
+    assert sorted(chosen) == [1, 2]
+
+
+def test_set_cover_prefers_cheap_per_element():
+    subsets = [
+        (frozenset({0, 1, 2, 3}), 8.0),  # 2.0 per element
+        (frozenset({0, 1}), 2.0),  # 1.0 per element
+        (frozenset({2, 3}), 2.0),
+    ]
+    chosen = greedy_weighted_set_cover({0, 1, 2, 3}, subsets)
+    assert sorted(chosen) == [1, 2]
+
+
+def test_set_cover_uncoverable_raises():
+    with pytest.raises(ValueError, match="cannot cover"):
+        greedy_weighted_set_cover({0, 1}, [(frozenset({0}), 1.0)])
+
+
+def test_set_cover_empty_universe():
+    assert greedy_weighted_set_cover(set(), [(frozenset({1}), 1.0)]) == []
+
+
+# --- BFS fallback paths --------------------------------------------------------------
+
+def test_bfs_path_level1(fig2_cluster):
+    assert bfs_path_to_head(fig2_cluster, 0) == (0, HEAD)
+    assert bfs_path_to_head(fig2_cluster, 1) == (1, 0, HEAD)
+
+
+def test_bfs_path_chain(chain_cluster):
+    assert bfs_path_to_head(chain_cluster, 3) == (3, 2, 1, 0, HEAD)
+
+
+def test_bfs_path_unreachable():
+    c = Cluster.from_edges(2, [], [0])
+    with pytest.raises(ValueError):
+        bfs_path_to_head(c, 1)
+
+
+# --- ack planning ---------------------------------------------------------------------
+
+def test_ack_plan_covers_all_sensors():
+    for seed in range(4):
+        dep = uniform_square(15, seed=seed)
+        c = Cluster.from_deployment(dep)
+        plan = solve_min_max_load(c).routing_plan()
+        ack = plan_ack_collection(c, plan)
+        assert ack.covered == set(range(15))
+        assert ack.n_polls <= 15  # never worse than polling everyone
+
+
+def test_ack_plan_merges_chain_into_one_poll(chain_cluster):
+    plan = solve_min_max_load(chain_cluster).routing_plan()
+    ack = plan_ack_collection(chain_cluster, plan)
+    # a single 4-hop path covers the whole chain: one poll suffices
+    assert ack.n_polls == 1
+    assert ack.paths[0] == (3, 2, 1, 0, HEAD)
+    assert ack.total_hop_count == 4
+
+
+def test_ack_plan_covers_sensors_outside_data_paths(fig2_cluster):
+    # sensor 0 has no packets and appears only as a relay; sensor 2 direct;
+    # suppose routing only has sensor 2's path -> 0 and 1 need fallbacks.
+    from repro.routing import RoutingPlan
+
+    plan = RoutingPlan(cluster=fig2_cluster, paths={2: (2, HEAD)})
+    ack = plan_ack_collection(fig2_cluster, plan)
+    assert ack.covered == {0, 1, 2}
+
+
+def test_ack_collection_runs_and_delivers(chain_cluster):
+    plan = solve_min_max_load(chain_cluster).routing_plan()
+    ack = plan_ack_collection(chain_cluster, plan)
+    result = run_ack_collection(chain_cluster, ack, AllCompatibleOracle())
+    assert result.pool.all_deleted()
+    # one merged ack packet traveling 4 hops
+    assert result.makespan == 4
+
+
+def test_ack_collection_dedupes_shared_starts(fig2_cluster):
+    from repro.core.ack import AckPlan
+
+    ack = AckPlan(
+        paths=[(1, 0, HEAD), (1, 0, HEAD)], total_hop_count=4, covered={0, 1}
+    )
+    result = run_ack_collection(fig2_cluster, ack, AllCompatibleOracle())
+    assert len(result.pool) == 1

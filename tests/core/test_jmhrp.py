@@ -1,0 +1,63 @@
+"""Tests for the joint routing+polling problem (Sec. III-E)."""
+
+import pytest
+
+from repro.core import all_simple_paths_to_head, decomposed_jmhrp, exact_jmhrp, power_rate
+from repro.topology import HEAD, Cluster
+
+from ..conftest import AllCompatibleOracle
+
+
+def diamond_cluster() -> Cluster:
+    """Sensor 2 can go via 0 or 1; both are head-adjacent."""
+    return Cluster.from_edges(
+        3, sensor_edges=[(0, 2), (1, 2)], head_links=[0, 1], packets=[1, 1, 1]
+    )
+
+
+def test_power_rate_linear():
+    assert power_rate(3, 10, c1=2.0, c2=0.5) == 11.0
+
+
+def test_all_simple_paths_enumeration():
+    c = diamond_cluster()
+    paths = all_simple_paths_to_head(c, 2, max_hops=2)
+    assert (2, 0, HEAD) in paths and (2, 1, HEAD) in paths
+    assert all(p[0] == 2 and p[-1] == HEAD for p in paths)
+    # direct path impossible (head does not hear 2)
+    assert (2, HEAD) not in paths
+
+
+def test_all_simple_paths_hop_cap():
+    c = diamond_cluster()
+    assert all(len(p) - 1 <= 2 for p in all_simple_paths_to_head(c, 2, max_hops=2))
+
+
+def test_decomposed_pipeline_runs():
+    c = diamond_cluster()
+    res = decomposed_jmhrp(c, AllCompatibleOracle())
+    assert res.polling_time >= 3  # 3 packets through the head
+    assert res.max_load >= 1
+    assert res.max_power_rate == pytest.approx(
+        res.max_load + res.polling_time
+    )
+
+
+def test_exact_jmhrp_never_worse_than_decomposed():
+    c = diamond_cluster()
+    oracle = AllCompatibleOracle()
+    exact = exact_jmhrp(c, oracle, max_hops=2)
+    heuristic = decomposed_jmhrp(c, oracle)
+    assert exact.max_power_rate <= heuristic.max_power_rate + 1e-9
+
+
+def test_exact_jmhrp_combination_cap():
+    c = diamond_cluster()
+    with pytest.raises(ValueError):
+        exact_jmhrp(c, AllCompatibleOracle(), max_hops=2, max_combinations=1)
+
+
+def test_exact_jmhrp_unreachable_raises():
+    c = Cluster.from_edges(2, [], [0], packets=[1, 1])
+    with pytest.raises(ValueError):
+        exact_jmhrp(c, AllCompatibleOracle(), max_hops=2)

@@ -1,0 +1,124 @@
+"""Tests for the exact scheduler, lower bounds, and the Thm. 2 delay claim."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    OnlinePollingScheduler,
+    RequestPool,
+    makespan_lower_bound,
+    optimal_makespan,
+    solve_optimal,
+)
+from repro.core.optimal import feasible_within
+from repro.mac.base import geometric_oracle
+from repro.routing import solve_min_max_load
+from repro.topology import Cluster, uniform_square
+
+from ..conftest import AllCompatibleOracle
+
+
+def test_fig2_optimal_is_two(fig2_cluster, fig2_oracle):
+    plan = solve_min_max_load(fig2_cluster).routing_plan()
+    result = solve_optimal(plan, fig2_oracle)
+    assert result.makespan == 2
+    result.schedule.validate(list(RequestPool(plan)), fig2_oracle)
+
+
+def test_optimal_never_beats_lower_bound_never_loses_to_greedy():
+    for seed in range(6):
+        dep = uniform_square(6, seed=seed)
+        rng = np.random.default_rng(seed)
+        c = Cluster.from_deployment(dep).with_packets(rng.integers(0, 3, size=6))
+        if c.total_packets == 0 or c.total_packets > 10:
+            continue
+        oracle, c = geometric_oracle(c)
+        plan = solve_min_max_load(c).routing_plan()
+        greedy = OnlinePollingScheduler.poll(plan, oracle)
+        opt = solve_optimal(plan, oracle)
+        lb = makespan_lower_bound(list(RequestPool(plan)), oracle.max_group_size)
+        assert lb <= opt.makespan <= greedy.makespan
+        opt.schedule.validate(list(RequestPool(plan)), oracle)
+
+
+def test_optimal_schedule_reconstruction_valid(chain_cluster, all_compatible):
+    plan = solve_min_max_load(chain_cluster).routing_plan()
+    result = solve_optimal(plan, all_compatible)
+    result.schedule.validate(list(RequestPool(plan)), all_compatible)
+    assert result.schedule.makespan() == result.makespan
+    assert result.makespan == 7  # the chain's participation bound
+
+
+def test_allow_delay_never_longer(chain_cluster, all_compatible):
+    plan = solve_min_max_load(chain_cluster).routing_plan()
+    nodelay = solve_optimal(plan, all_compatible, allow_delay=False)
+    delayed = solve_optimal(plan, all_compatible, allow_delay=True)
+    assert delayed.makespan <= nodelay.makespan
+
+
+def test_thm2_delay_never_helps_on_tsrf():
+    """Thm. 2's exchange argument: on TSRFs, delaying buys nothing."""
+    from repro.hardness import random_graph, tsrfp_from_graph
+
+    for seed in range(4):
+        inst = tsrfp_from_graph(random_graph(4, 0.5, seed=seed))
+        plan = inst.routing_plan()
+        nodelay = solve_optimal(plan, inst.oracle, allow_delay=False)
+        delayed = solve_optimal(plan, inst.oracle, allow_delay=True)
+        assert nodelay.makespan == delayed.makespan
+
+
+def test_request_cap_enforced(star_cluster, all_compatible):
+    c = star_cluster.with_packets([20, 0, 0, 0, 0])
+    plan = solve_min_max_load(c).routing_plan()
+    with pytest.raises(ValueError, match="exceed"):
+        solve_optimal(plan, all_compatible)
+
+
+def test_empty_instance(fig2_cluster, fig2_oracle):
+    c = fig2_cluster.with_packets([0, 0, 0])
+    plan = solve_min_max_load(c).routing_plan()
+    assert solve_optimal(plan, fig2_oracle).makespan == 0
+
+
+def test_feasible_within_decision(fig2_cluster, fig2_oracle):
+    plan = solve_min_max_load(fig2_cluster).routing_plan()
+    assert feasible_within(plan, fig2_oracle, deadline=2)
+    assert not feasible_within(plan, fig2_oracle, deadline=1)
+    assert feasible_within(plan, fig2_oracle, deadline=10)
+
+
+def test_optimal_makespan_convenience(fig2_cluster, fig2_oracle):
+    plan = solve_min_max_load(fig2_cluster).routing_plan()
+    assert optimal_makespan(plan, fig2_oracle) == 2
+
+
+# --- lower bounds -----------------------------------------------------------------
+
+def test_bounds_head_bound(star_cluster):
+    pool = RequestPool(solve_min_max_load(star_cluster).routing_plan())
+    # 5 one-hop packets: head receives one per slot -> bound 5
+    assert makespan_lower_bound(list(pool), 2) == 5
+
+
+def test_bounds_pipeline_bound(chain_cluster):
+    c = chain_cluster.with_packets([0, 0, 0, 1])
+    pool = RequestPool(solve_min_max_load(c).routing_plan())
+    assert makespan_lower_bound(list(pool), 2) == 4  # the 4-hop pipeline
+
+
+def test_bounds_concurrency_bound(chain_cluster):
+    pool = RequestPool(solve_min_max_load(chain_cluster).routing_plan())
+    # total transmissions 4+3+2+1 = 10; with M = 1 need >= 10 slots
+    assert makespan_lower_bound(list(pool), 1) >= 10
+
+
+def test_bounds_node_load_bound(chain_cluster):
+    pool = RequestPool(solve_min_max_load(chain_cluster).routing_plan())
+    # s0 carries load 4 at distance 1: bound >= 4; head bound gives 4 too;
+    # with M=2 the concurrency bound gives ceil(10/2) = 5.
+    assert makespan_lower_bound(list(pool), 2) >= 5
+
+
+def test_bounds_empty():
+    assert makespan_lower_bound([], 2) == 0

@@ -1,0 +1,167 @@
+"""Tests for PollingSchedule validation: the legality rules of Sec. II/III."""
+
+import pytest
+
+from repro.core import (
+    PollingSchedule,
+    PollRequest,
+    RequestPool,
+    ScheduleInvalid,
+    Transmission,
+)
+from repro.interference import TabulatedOracle
+from repro.routing import RoutingPlan, solve_min_max_load
+from repro.topology import HEAD
+
+
+def make_request(rid, sensor, path):
+    return PollRequest(request_id=rid, sensor=sensor, path=path)
+
+
+def pipeline(schedule, rid, path, start, deliver=True):
+    for k in range(len(path) - 1):
+        schedule.add(
+            start + k,
+            Transmission(sender=path[k], receiver=path[k + 1], request_id=rid, hop_index=k),
+        )
+    if deliver:
+        schedule.delivered[rid] = start + len(path) - 2
+
+
+def test_valid_pipelined_schedule_passes(fig2_oracle):
+    sched = PollingSchedule()
+    pipeline(sched, 0, (1, 0, HEAD), start=0)
+    pipeline(sched, 1, (2, HEAD), start=0)
+    reqs = [make_request(0, 1, (1, 0, HEAD)), make_request(1, 2, (2, HEAD))]
+    sched.validate(reqs, fig2_oracle)
+    assert sched.makespan() == 2
+    assert sched.n_slots == 2
+    assert sched.transmissions_total() == 3
+    assert sched.concurrency_profile() == [2, 1]
+
+
+def test_node_reuse_in_slot_rejected():
+    sched = PollingSchedule()
+    sched.add(0, Transmission(0, HEAD, 0, 0))
+    sched.add(0, Transmission(1, HEAD, 1, 0))  # head used twice
+    with pytest.raises(ScheduleInvalid, match="node used twice"):
+        sched.validate([], None)
+
+
+def test_incompatible_group_rejected():
+    sched = PollingSchedule()
+    sched.add(0, Transmission(1, 0, 0, 0))
+    sched.add(0, Transmission(2, HEAD, 1, 0))
+    oracle = TabulatedOracle([], valid_links=[(1, 0), (2, HEAD), (0, HEAD)])
+    reqs = [make_request(0, 1, (1, 0, HEAD)), make_request(1, 2, (2, HEAD))]
+    with pytest.raises(ScheduleInvalid, match="incompatible"):
+        sched.validate(reqs, oracle, require_all_delivered=False)
+
+
+def test_group_beyond_m_rejected(fig2_oracle):
+    sched = PollingSchedule()
+    sched.add(0, Transmission(0, 1, 0, 0))
+    sched.add(0, Transmission(2, 3, 1, 0))
+    sched.add(0, Transmission(4, 5, 2, 0))
+    with pytest.raises(ScheduleInvalid, match="exceed"):
+        sched.validate([], fig2_oracle, require_all_delivered=False)
+
+
+def test_no_delay_violation_detected(fig2_oracle):
+    sched = PollingSchedule()
+    sched.add(0, Transmission(1, 0, 0, 0))
+    sched.add(2, Transmission(0, HEAD, 0, 1))  # gap of one slot
+    sched.delivered[0] = 2
+    reqs = [make_request(0, 1, (1, 0, HEAD))]
+    with pytest.raises(ScheduleInvalid, match="no-delay"):
+        sched.validate(reqs, fig2_oracle)
+    # but legal when delay is allowed
+    sched.validate(reqs, fig2_oracle, allow_delay=True)
+
+
+def test_delayed_schedule_must_still_be_ordered(fig2_oracle):
+    sched = PollingSchedule()
+    sched.add(2, Transmission(1, 0, 0, 0))
+    sched.add(2, Transmission(0, HEAD, 0, 1))  # same slot as hop 0!
+    with pytest.raises(ScheduleInvalid):
+        sched.validate(
+            [make_request(0, 1, (1, 0, HEAD))], None, allow_delay=True,
+            require_all_delivered=False,
+        )
+
+
+def test_wrong_hop_link_detected(fig2_oracle):
+    sched = PollingSchedule()
+    sched.add(0, Transmission(1, 2, 0, 0))  # path says 1 -> 0
+    with pytest.raises(ScheduleInvalid, match="path says"):
+        sched.validate(
+            [make_request(0, 1, (1, 0, HEAD))], None, require_all_delivered=False
+        )
+
+
+def test_undelivered_request_detected(fig2_oracle):
+    sched = PollingSchedule()
+    pipeline(sched, 0, (1, 0, HEAD), start=0, deliver=False)
+    with pytest.raises(ScheduleInvalid, match="never delivered"):
+        sched.validate([make_request(0, 1, (1, 0, HEAD))], fig2_oracle)
+
+
+def test_unscheduled_request_detected(fig2_oracle):
+    sched = PollingSchedule()
+    with pytest.raises(ScheduleInvalid, match="never scheduled"):
+        sched.validate([make_request(0, 1, (1, 0, HEAD))], fig2_oracle)
+
+
+def test_phantom_delivery_detected(fig2_oracle):
+    sched = PollingSchedule()
+    pipeline(sched, 0, (1, 0, HEAD), start=0, deliver=False)
+    sched.delivered[0] = 5  # no final hop there
+    with pytest.raises(ScheduleInvalid, match="no final hop"):
+        sched.validate([make_request(0, 1, (1, 0, HEAD))], fig2_oracle)
+
+
+def test_retry_attempts_validate(fig2_oracle):
+    """A lost attempt followed by a successful one is a legal schedule."""
+    sched = PollingSchedule()
+    pipeline(sched, 0, (1, 0, HEAD), start=0, deliver=False)  # lost attempt
+    pipeline(sched, 0, (1, 0, HEAD), start=2, deliver=True)
+    sched.validate([make_request(0, 1, (1, 0, HEAD))], fig2_oracle)
+    assert sched.makespan() == 4
+
+
+def test_last_slot_of_node():
+    sched = PollingSchedule()
+    pipeline(sched, 0, (1, 0, HEAD), start=0)
+    assert sched.last_slot_of_node(1) == 0
+    assert sched.last_slot_of_node(0) == 1
+    assert sched.last_slot_of_node(HEAD) == 1
+    assert sched.last_slot_of_node(9) is None
+
+
+def test_describe_readable(fig2_oracle):
+    sched = PollingSchedule()
+    pipeline(sched, 0, (1, 0, HEAD), start=0)
+    text = sched.describe()
+    assert "slot 1" in text and "s1->s0" in text and "deliveries" in text
+
+
+def test_negative_slot_rejected():
+    with pytest.raises(ValueError):
+        PollingSchedule().add(-1, Transmission(0, HEAD, 0, 0))
+
+
+def test_gantt_renders_roles(fig2_oracle):
+    sched = PollingSchedule()
+    pipeline(sched, 0, (1, 0, HEAD), start=0)
+    pipeline(sched, 1, (2, HEAD), start=0)
+    art = sched.gantt()
+    lines = art.splitlines()
+    assert any(l.startswith("s1") and "T" in l for l in lines)
+    assert any(l.startswith("t") and l.count("R") == 2 for l in lines)
+    # s0 receives in slot 1 and transmits in slot 2
+    s0 = next(l for l in lines if l.startswith("s0"))
+    assert "R" in s0 and "T" in s0
+
+
+def test_gantt_empty():
+    assert PollingSchedule().gantt() == "(empty schedule)"

@@ -1,0 +1,98 @@
+"""Tests for Transmission structure and the request lifecycle."""
+
+import pytest
+
+from repro.core import (
+    PollRequest,
+    RequestPool,
+    RequestState,
+    Transmission,
+    links_of,
+    occupied_nodes,
+    structurally_ok,
+)
+from repro.routing import RoutingPlan, solve_min_max_load
+from repro.topology import HEAD
+
+
+def tx(sender, receiver, rid=0, hop=0):
+    return Transmission(sender=sender, receiver=receiver, request_id=rid, hop_index=hop)
+
+
+def test_structurally_ok_rejects_node_reuse():
+    assert structurally_ok([tx(0, 1), tx(2, 3)])
+    assert not structurally_ok([tx(0, 1), tx(1, 2)])
+    assert not structurally_ok([tx(0, 1), tx(2, 1)])
+    assert not structurally_ok([tx(0, 0)])
+    assert structurally_ok([])
+
+
+def test_head_counts_as_a_node():
+    assert not structurally_ok([tx(0, HEAD), tx(1, HEAD)])  # head can't rx twice
+
+
+def test_occupied_and_links():
+    group = [tx(0, 1), tx(2, HEAD)]
+    assert occupied_nodes(group) == {0, 1, 2, HEAD}
+    assert links_of(group) == [(0, 1), (2, HEAD)]
+
+
+def test_request_lifecycle():
+    req = PollRequest(request_id=0, sensor=1, path=(1, 0, HEAD))
+    assert req.state is RequestState.ACTIVE
+    assert req.hop_count == 2
+    req.mark_scheduled(3)
+    assert req.state is RequestState.IDLE
+    assert req.arrival_slot() == 4
+    assert req.attempts == 1
+    req.mark_lost()
+    assert req.state is RequestState.ACTIVE
+    req.mark_scheduled(7)
+    assert req.attempts == 2 and req.arrival_slot() == 8
+    req.mark_delivered()
+    assert req.state is RequestState.DELETED
+
+
+def test_request_illegal_transitions():
+    req = PollRequest(request_id=0, sensor=1, path=(1, HEAD))
+    with pytest.raises(ValueError):
+        req.mark_lost()  # not scheduled yet
+    with pytest.raises(ValueError):
+        req.mark_delivered()
+    with pytest.raises(ValueError):
+        req.arrival_slot()
+    req.mark_scheduled(0)
+    with pytest.raises(ValueError):
+        req.mark_scheduled(1)  # already idle
+
+
+def test_pool_one_request_per_packet(fig2_cluster):
+    c = fig2_cluster.with_packets([0, 3, 2])
+    plan = RoutingPlan(cluster=c, paths={1: (1, 0, HEAD), 2: (2, HEAD)})
+    pool = RequestPool(plan)
+    assert len(pool) == 5
+    sensors = [r.sensor for r in pool]
+    assert sensors == [1, 1, 1, 2, 2]  # sensor order, packets consecutive
+    assert [r.request_id for r in pool] == [0, 1, 2, 3, 4]
+
+
+def test_pool_scan_orders(fig2_cluster):
+    plan = solve_min_max_load(fig2_cluster).routing_plan()
+    deep = RequestPool(plan, order="deep-first")
+    assert deep.requests[0].hop_count >= deep.requests[-1].hop_count
+    shallow = RequestPool(plan, order="shallow-first")
+    assert shallow.requests[0].hop_count <= shallow.requests[-1].hop_count
+    with pytest.raises(ValueError):
+        RequestPool(plan, order="nonsense")
+
+
+def test_pool_queries(fig2_cluster):
+    plan = solve_min_max_load(fig2_cluster).routing_plan()
+    pool = RequestPool(plan)
+    assert len(pool.active()) == 2 and not pool.idle()
+    pool.requests[0].mark_scheduled(0)
+    assert len(pool.active()) == 1 and len(pool.idle()) == 1
+    assert not pool.all_deleted()
+    assert pool.by_id(1).request_id == 1
+    with pytest.raises(KeyError):
+        pool.by_id(99)

@@ -1,0 +1,145 @@
+"""Tests for the exact Hamiltonian-path and Partition solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardness import (
+    find_hamiltonian_path,
+    find_partition,
+    has_hamiltonian_path,
+    has_partition,
+    is_hamiltonian_path,
+    is_partition,
+    random_graph,
+)
+
+
+# --- Hamiltonian path ------------------------------------------------------------
+
+def path_graph(n):
+    adj = np.zeros((n, n), dtype=bool)
+    for i in range(n - 1):
+        adj[i, i + 1] = adj[i + 1, i] = True
+    return adj
+
+
+def test_path_graph_has_hp():
+    adj = path_graph(6)
+    hp = find_hamiltonian_path(adj)
+    assert hp is not None and is_hamiltonian_path(adj, hp)
+
+
+def test_star_graph_no_hp():
+    adj = np.zeros((5, 5), dtype=bool)
+    for leaf in range(1, 5):
+        adj[0, leaf] = adj[leaf, 0] = True
+    assert not has_hamiltonian_path(adj)
+
+
+def test_disconnected_no_hp():
+    adj = np.zeros((4, 4), dtype=bool)
+    adj[0, 1] = adj[1, 0] = True
+    adj[2, 3] = adj[3, 2] = True
+    assert not has_hamiltonian_path(adj)
+
+
+def test_complete_graph_hp():
+    adj = ~np.eye(6, dtype=bool)
+    hp = find_hamiltonian_path(adj)
+    assert hp is not None and is_hamiltonian_path(adj, hp)
+
+
+def test_tiny_cases():
+    assert find_hamiltonian_path(np.zeros((0, 0), dtype=bool)) == []
+    assert find_hamiltonian_path(np.zeros((1, 1), dtype=bool)) == [0]
+    assert not has_hamiltonian_path(np.zeros((2, 2), dtype=bool))
+
+
+def test_is_hamiltonian_path_verifier():
+    adj = path_graph(4)
+    assert is_hamiltonian_path(adj, [0, 1, 2, 3])
+    assert not is_hamiltonian_path(adj, [0, 2, 1, 3])  # 0-2 not an edge
+    assert not is_hamiltonian_path(adj, [0, 1, 2])  # misses a vertex
+    assert not is_hamiltonian_path(adj, [0, 1, 2, 2])
+
+
+def test_adjacency_validation():
+    with pytest.raises(ValueError):
+        find_hamiltonian_path(np.triu(np.ones((3, 3), dtype=bool), 1))  # asymmetric
+    with pytest.raises(ValueError):
+        find_hamiltonian_path(np.ones((3, 3), dtype=bool))  # self loops
+
+
+def _brute_force_hp(adj) -> bool:
+    from itertools import permutations
+
+    n = adj.shape[0]
+    return any(
+        all(adj[a, b] for a, b in zip(p, p[1:]))
+        for p in permutations(range(n))
+    )
+
+
+@given(st.integers(0, 200))
+@settings(max_examples=40, deadline=None)
+def test_hp_solver_matches_brute_force(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 7))
+    adj = random_graph(n, float(rng.uniform(0.2, 0.8)), seed=seed)
+    assert has_hamiltonian_path(adj) == _brute_force_hp(adj)
+
+
+# --- Partition -----------------------------------------------------------------------
+
+def test_partition_simple_yes():
+    split = find_partition([3, 2, 1, 2])
+    assert split is not None
+    left, right = split
+    assert is_partition([3, 2, 1, 2], left, right)
+
+
+def test_partition_odd_sum_no():
+    assert find_partition([3, 3, 1]) is None
+
+
+def test_partition_even_sum_but_impossible():
+    assert find_partition([1, 1, 6]) is None
+    assert has_partition([4, 4]) is True
+
+
+def test_partition_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        find_partition([0, 2])
+    with pytest.raises(ValueError):
+        find_partition([-1, 1])
+
+
+def test_is_partition_verifier():
+    assert is_partition([2, 2], [0], [1])
+    assert not is_partition([2, 3], [0], [1])
+    assert not is_partition([2, 2], [0], [0])  # not a partition of indices
+    assert not is_partition([2, 2], [0], [])
+
+
+def _brute_partition(values) -> bool:
+    from itertools import combinations
+
+    total = sum(values)
+    if total % 2:
+        return False
+    idx = range(len(values))
+    return any(
+        sum(values[i] for i in combo) == total // 2
+        for r in range(len(values) + 1)
+        for combo in combinations(idx, r)
+    )
+
+
+@given(st.lists(st.integers(1, 20), min_size=1, max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_partition_matches_brute_force(values):
+    split = find_partition(values)
+    assert (split is not None) == _brute_partition(values)
+    if split is not None:
+        assert is_partition(values, *split)

@@ -1,0 +1,141 @@
+"""Tests executing the Lemma-1 reduction: TSRFP <-> Hamiltonian Path."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import OnlinePollingScheduler, RequestPool, solve_optimal
+from repro.core.optimal import feasible_within
+from repro.hardness import (
+    find_hamiltonian_path,
+    hamiltonian_path_from_schedule,
+    has_hamiltonian_path,
+    is_hamiltonian_path,
+    physical_oracle_for_graph,
+    random_graph,
+    schedule_from_hamiltonian_path,
+    tsrfp_from_graph,
+)
+from repro.topology import HEAD
+
+
+def gadget_links(inst):
+    a = [
+        (inst.tsrf.second_level(i), inst.tsrf.first_level(i))
+        for i in range(inst.n_branches)
+    ]
+    b = [(inst.tsrf.first_level(i), HEAD) for i in range(inst.n_branches)]
+    return a, b
+
+
+def test_gadget_compatibilities_encode_edges():
+    adj = random_graph(4, 0.5, seed=2)
+    inst = tsrfp_from_graph(adj)
+    a, b = gadget_links(inst)
+    for i in range(4):
+        for j in range(4):
+            if i == j:
+                continue
+            assert inst.oracle.compatible([a[i], b[j]]) == bool(adj[i, j])
+    # second-level transmissions never pair
+    for i, j in combinations(range(4), 2):
+        assert not inst.oracle.compatible([a[i], a[j]])
+
+
+def test_deadline_is_n_plus_one():
+    assert tsrfp_from_graph(random_graph(5, 0.5, seed=0)).deadline == 6
+
+
+@given(st.integers(0, 60))
+@settings(max_examples=25, deadline=None)
+def test_reduction_equivalence(seed):
+    """THE theorem: schedule within n+1 slots exists iff HP exists."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 6))
+    adj = random_graph(n, float(rng.uniform(0.2, 0.9)), seed=seed)
+    inst = tsrfp_from_graph(adj)
+    plan = inst.routing_plan()
+    assert feasible_within(plan, inst.oracle, inst.deadline) == has_hamiltonian_path(adj)
+
+
+@given(st.integers(0, 60))
+@settings(max_examples=20, deadline=None)
+def test_certificate_round_trip(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 7))
+    adj = random_graph(n, 0.6, seed=seed)
+    hp = find_hamiltonian_path(adj)
+    if hp is None:
+        return
+    inst = tsrfp_from_graph(adj)
+    schedule = schedule_from_hamiltonian_path(inst, hp)
+    # the constructed schedule is fully legal and meets the deadline
+    schedule.validate(list(RequestPool(inst.routing_plan())), inst.oracle)
+    assert schedule.makespan() == inst.deadline
+    # and converts back to a (possibly different) valid Hamiltonian path
+    back = hamiltonian_path_from_schedule(inst, schedule)
+    assert is_hamiltonian_path(adj, back)
+
+
+def test_extraction_from_optimal_schedule():
+    adj = random_graph(5, 0.6, seed=1)
+    if not has_hamiltonian_path(adj):
+        pytest.skip("seed produced HP-free graph")
+    inst = tsrfp_from_graph(adj)
+    opt = solve_optimal(inst.routing_plan(), inst.oracle)
+    assert opt.makespan == inst.deadline
+    back = hamiltonian_path_from_schedule(inst, opt.schedule)
+    assert is_hamiltonian_path(adj, back)
+
+
+def test_extraction_rejects_slow_schedules():
+    adj = np.zeros((3, 3), dtype=bool)  # no edges: no HP for n >= 2
+    inst = tsrfp_from_graph(adj)
+    greedy = OnlinePollingScheduler.poll(inst.routing_plan(), inst.oracle)
+    assert greedy.makespan > inst.deadline
+    with pytest.raises(ValueError):
+        hamiltonian_path_from_schedule(inst, greedy.schedule)
+
+
+def test_greedy_meets_deadline_only_by_luck_never_below():
+    for seed in range(5):
+        adj = random_graph(4, 0.5, seed=seed)
+        inst = tsrfp_from_graph(adj)
+        greedy = OnlinePollingScheduler.poll(inst.routing_plan(), inst.oracle)
+        assert greedy.makespan >= inst.deadline  # deadline is the optimum
+
+
+def test_invalid_path_inputs():
+    inst = tsrfp_from_graph(random_graph(3, 0.9, seed=4))
+    with pytest.raises(ValueError):
+        schedule_from_hamiltonian_path(inst, [0, 1])  # not a permutation
+    with pytest.raises(ValueError):
+        schedule_from_hamiltonian_path(inst, [0, 1, 1])
+
+
+# --- physical realization (the paper's "interference can be arbitrary" point) -----
+
+@given(st.integers(0, 30))
+@settings(max_examples=15, deadline=None)
+def test_physical_realization_matches_tabulated(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 6))
+    adj = random_graph(n, 0.5, seed=seed)
+    inst = tsrfp_from_graph(adj)
+    phys = physical_oracle_for_graph(adj)
+    a, b = gadget_links(inst)
+    links = a + b
+    for x, y in combinations(links, 2):
+        if len({x[0], x[1], y[0], y[1]}) < 4:
+            continue
+        assert phys.compatible([x, y]) == inst.oracle.compatible([x, y])
+    for link in links:
+        assert phys.compatible([link])
+
+
+def test_physical_parameters_validated():
+    adj = random_graph(3, 0.5, seed=0)
+    with pytest.raises(ValueError):
+        physical_oracle_for_graph(adj, signal=1.0, weak=1.0, strong=1.0, beta=10.0)

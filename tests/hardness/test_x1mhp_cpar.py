@@ -1,0 +1,176 @@
+"""Tests for the X1MHP gadget (incl. the documented leak) and CPAR reduction."""
+
+import numpy as np
+import pytest
+
+from repro.core import RequestPool
+from repro.core.optimal import feasible_within
+from repro.hardness import (
+    brute_force_min_pseudo_rate,
+    canonical_x1mhp_schedule,
+    cpar_from_partition,
+    cpar_threshold,
+    find_hamiltonian_path,
+    find_partition,
+    has_partition,
+    sectors_from_subsets,
+    subsets_from_sectors,
+    x1mhp_deadline,
+    x1mhp_from_graph,
+)
+
+
+# --- X1MHP -----------------------------------------------------------------------
+
+def k2_graph(edge: bool):
+    g = np.zeros((2, 2), dtype=bool)
+    if edge:
+        g[0, 1] = g[1, 0] = True
+    return g
+
+
+def test_x1mhp_every_sensor_has_one_packet():
+    inst = x1mhp_from_graph(k2_graph(True))
+    assert inst.cluster.n_sensors == 12
+    assert (inst.cluster.packets == 1).all()
+
+
+def test_x1mhp_structure():
+    inst = x1mhp_from_graph(k2_graph(True))
+    c = inst.cluster
+    for b in range(2):
+        assert c.can_hear(-1, inst.s(b))  # HEAD hears s_b
+        assert c.can_hear(-1, inst.u(b))
+        assert c.can_hear(-1, inst.up(b))
+        assert not c.can_hear(-1, inst.sp(b))
+        assert c.can_hear(inst.up(b), inst.upp(b))
+        assert c.can_hear(inst.upp(b), inst.uppp(b))
+
+
+def test_x1mhp_deadline_formula():
+    assert x1mhp_deadline(1) == 9
+    assert x1mhp_deadline(2) == 17
+
+
+def test_canonical_schedule_valid_and_meets_deadline():
+    g = k2_graph(True)
+    inst = x1mhp_from_graph(g)
+    hp = find_hamiltonian_path(g)
+    sched = canonical_x1mhp_schedule(inst, hp)
+    sched.validate(list(RequestPool(inst.routing_plan())), inst.oracle)
+    assert sched.makespan() == inst.deadline
+
+
+def test_canonical_schedule_k1():
+    g = np.zeros((1, 1), dtype=bool)
+    inst = x1mhp_from_graph(g)
+    sched = canonical_x1mhp_schedule(inst, [0])
+    sched.validate(list(RequestPool(inst.routing_plan())), inst.oracle)
+    assert sched.makespan() == 9
+
+
+def test_forward_direction_hp_implies_deadline_met():
+    g = k2_graph(True)
+    inst = x1mhp_from_graph(g)
+    assert feasible_within(
+        inst.routing_plan(), inst.oracle, inst.deadline, max_requests=24
+    )
+
+
+def test_documented_leak_no_hp_still_meets_deadline():
+    """REPRODUCTION FINDING (see repro/hardness/x1mhp.py docstring): under
+    link-level compatibility the published Thm. 3 gadget does NOT force a
+    Hamiltonian path at deadline 8k+1 — the edge-free 2-vertex graph has no
+    HP yet a 17-slot schedule exists.  This test pins the observed behavior
+    so any future gadget repair must consciously revisit it."""
+    g = k2_graph(False)
+    assert find_hamiltonian_path(g) is None
+    inst = x1mhp_from_graph(g)
+    assert feasible_within(
+        inst.routing_plan(), inst.oracle, inst.deadline, max_requests=24
+    )
+
+
+def test_canonical_rejects_bad_path():
+    inst = x1mhp_from_graph(k2_graph(True))
+    with pytest.raises(ValueError):
+        canonical_x1mhp_schedule(inst, [0])
+
+
+# --- CPAR -------------------------------------------------------------------------
+
+def test_cpar_structure_fig6():
+    inst = cpar_from_partition([3, 2, 1, 2])
+    c = inst.cluster
+    assert c.n_sensors == 10
+    assert c.first_level_sensors() == [0, 1]
+    # each branch's first chain node hears both S1 and S2
+    for chain in inst.branch_nodes:
+        assert c.can_hear(0, chain[0]) and c.can_hear(1, chain[0])
+        for a, b in zip(chain, chain[1:]):
+            assert c.can_hear(a, b)
+    assert inst.threshold == 10.0
+
+
+def test_cpar_yes_instance_meets_threshold():
+    values = [3, 2, 1, 2]
+    inst = cpar_from_partition(values)
+    left, right = find_partition(values)
+    partition = sectors_from_subsets(inst, left, right)
+    assert partition.max_pseudo_rate() <= inst.threshold
+    # certificate extraction returns an equal-sum split
+    back_left, back_right = subsets_from_sectors(inst, partition)
+    assert sum(values[i] for i in back_left) == sum(values[i] for i in back_right)
+
+
+def test_cpar_no_instance_exceeds_threshold():
+    for values in ([5, 3, 1], [1, 1, 6], [2, 2, 2, 7]):
+        assert not has_partition(values)
+        inst = cpar_from_partition(values)
+        best, _ = brute_force_min_pseudo_rate(inst)
+        assert best > inst.threshold
+
+
+def test_cpar_equivalence_sweep():
+    """min over branch assignments meets B iff Partition is a yes-instance."""
+    rng = np.random.default_rng(0)
+    for _ in range(8):
+        values = [int(v) for v in rng.integers(1, 7, size=int(rng.integers(2, 6)))]
+        inst = cpar_from_partition(values)
+        best, _ = brute_force_min_pseudo_rate(inst)
+        assert (best <= inst.threshold) == has_partition(values)
+
+
+def test_cpar_validation():
+    with pytest.raises(ValueError):
+        cpar_from_partition([])
+    with pytest.raises(ValueError):
+        cpar_from_partition([0, 1])
+    inst = cpar_from_partition([2, 2])
+    with pytest.raises(ValueError):
+        sectors_from_subsets(inst, [0], [0, 1])
+
+
+def test_cpar_threshold_formula():
+    assert cpar_threshold([3, 2, 1, 2]) == 10.0
+    assert cpar_threshold([1]) == 3.0
+
+
+def test_subsets_from_sectors_requires_two():
+    from repro.core import Sector, SectorPartition
+    from repro.topology import HEAD
+
+    inst = cpar_from_partition([2, 2])
+    parent = {0: HEAD, 1: HEAD}
+    for chain in inst.branch_nodes:
+        parent[chain[0]] = 0
+        for a, b in zip(chain, chain[1:]):
+            parent[b] = a
+    single = SectorPartition(
+        cluster=inst.cluster,
+        sectors=[
+            Sector(sensors=sorted(parent), roots=[0, 1], parent=parent)
+        ],
+    )
+    with pytest.raises(ValueError, match="two sectors"):
+        subsets_from_sectors(inst, single)

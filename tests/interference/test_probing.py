@@ -1,0 +1,93 @@
+"""Tests for probing-based discovery (Sec. V-B / V-E)."""
+
+import numpy as np
+import pytest
+
+from repro.interference import (
+    GroupTableOracle,
+    PhysicalModelOracle,
+    probe_connectivity,
+    probe_cost,
+    probe_groups,
+)
+from repro.mac.base import geometric_oracle
+from repro.topology import HEAD, Cluster, uniform_square
+
+
+def make_truth(n_links: int = 3):
+    """A physical truth channel with known structure."""
+    n = 2 * n_links
+    power = np.zeros((n + 1, n + 1))
+    for k in range(n_links):
+        power[2 * k + 1, 2 * k] = 1.0  # link 2k -> 2k+1
+    # links 0 and 1 are mutually quiet; link 2 jams link 0's receiver
+    if n_links >= 3:
+        power[1, 4] = 0.5
+    return PhysicalModelOracle(power, beta=10.0, noise=1e-6, max_group_size=2)
+
+
+def test_probe_connectivity_matches_truth():
+    truth = make_truth()
+    hears, head_hears = probe_connectivity(truth, 6)
+    assert hears[1, 0] and hears[3, 2] and hears[5, 4]
+    assert not hears[0, 1]  # directional
+    assert not head_hears.any()
+
+
+def test_probe_groups_reproduces_truth_answers():
+    truth = make_truth()
+    links = [(0, 1), (2, 3), (4, 5)]
+    probed = probe_groups(truth, links, max_group_size=2)
+    for a in links:
+        for b in links:
+            if a < b:
+                assert probed.compatible([a, b]) == truth.compatible([a, b])
+    # specifically: link (4,5) jams (0,1)
+    assert not probed.compatible([(0, 1), (4, 5)])
+    assert probed.compatible([(0, 1), (2, 3)])
+
+
+def test_unprobed_groups_conservatively_incompatible():
+    probed = probe_groups(make_truth(), [(0, 1)], max_group_size=2)
+    assert not probed.compatible([(2, 3)])  # never probed
+    assert isinstance(probed, GroupTableOracle)
+
+
+def test_probe_skips_node_sharing_groups():
+    truth = make_truth()
+    probed = probe_groups(truth, [(0, 1), (1, 3)], max_group_size=2)
+    # the (0,1)+(1,3) group shares node 1: never probed, never compatible
+    assert not probed.compatible([(0, 1), (1, 3)])
+
+
+def test_probe_cost_counts():
+    # sum_{k=1..2} C(10, k) = 10 + 45
+    assert probe_cost(10, 2) == 55
+    assert probe_cost(10, 1) == 10
+    assert probe_cost(0, 3) == 0
+    with pytest.raises(ValueError):
+        probe_cost(-1, 2)
+    with pytest.raises(ValueError):
+        probe_cost(5, 0)
+
+
+def test_probe_cost_sector_argument():
+    """Sec. IV: probing 8 sectors of 10 links each is far cheaper than one
+    cluster of 80 links."""
+    whole = probe_cost(80, 3)
+    sectored = 8 * probe_cost(10, 3)
+    assert sectored < whole / 50
+
+
+def test_probing_a_geometric_truth_matches_direct_oracle():
+    """Probing the physical channel rebuilds exactly its answers on the
+    probed link set (Sec. V-E end-to-end)."""
+    dep = uniform_square(8, seed=2)
+    geo = Cluster.from_deployment(dep)
+    truth, cluster = geometric_oracle(geo)
+    links = [(s, HEAD) for s in cluster.first_level_sensors()][:4]
+    probed = probe_groups(truth, links, max_group_size=2)
+    for a in links:
+        for b in links:
+            if a < b:
+                assert probed.compatible([a, b]) == truth.compatible([a, b])

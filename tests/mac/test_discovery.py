@@ -1,0 +1,56 @@
+"""Tests for radio-level discovery (Sec. V-A / V-B as a real protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.mac import build_cluster_phy
+from repro.mac.discovery import DiscoveryProtocol
+from repro.sim import Simulator
+from repro.topology import Cluster, line, uniform_square
+
+
+def discover(deployment):
+    sim = Simulator()
+    cluster = Cluster.from_deployment(deployment)
+    phy = build_cluster_phy(sim, cluster, sensor_range_m=deployment.comm_range)
+    proto = DiscoveryProtocol(phy)
+    proc = proto.run()
+    sim.run(until=60.0)
+    assert not proc.alive, "discovery did not finish"
+    return phy, proto.outcome
+
+
+def test_discovery_matches_medium_truth():
+    phy, outcome = discover(uniform_square(12, seed=3))
+    truth = phy.medium.hearing_matrix()
+    n = phy.n_sensors
+    assert np.array_equal(outcome.hears, truth[:n, :n])
+    assert np.array_equal(outcome.head_hears, truth[n, :n])
+
+
+def test_discovery_chain_parents():
+    phy, outcome = discover(line(4, spacing=30.0, comm_range=35.0))
+    assert outcome.parent[0] == -1  # HEAD
+    assert outcome.parent[1] == 0
+    assert outcome.parent[2] == 1
+    assert outcome.parent[3] == 2
+
+
+def test_discovery_costs_linear_slots():
+    phy, outcome = discover(uniform_square(10, seed=1))
+    assert outcome.probe_slots == 10
+    # one report poll per sensor plus relay hops: O(n) with a small constant
+    assert outcome.report_slots <= 4 * 10
+
+
+def test_discovered_cluster_routable():
+    from repro.core import OnlinePollingScheduler
+    from repro.mac import phy_truth_oracle
+    from repro.routing import solve_min_max_load
+
+    phy, outcome = discover(uniform_square(10, seed=2))
+    cluster = outcome.cluster()
+    assert cluster.is_connected()
+    plan = solve_min_max_load(cluster).routing_plan()
+    result = OnlinePollingScheduler.poll(plan, phy_truth_oracle(phy))
+    assert result.pool.all_deleted()

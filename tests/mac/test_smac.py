@@ -1,0 +1,111 @@
+"""Tests for the S-MAC + AODV baseline behavior."""
+
+import numpy as np
+import pytest
+
+from repro.net import SmacSimConfig, run_smac_simulation
+from repro.topology import line
+
+
+def smac_run(**overrides):
+    cfg = dict(
+        n_sensors=8, rate_bps=10.0, duty_cycle=1.0, duration=25.0, warmup=5.0, seed=1
+    )
+    cfg.update(overrides)
+    return run_smac_simulation(SmacSimConfig(**cfg))
+
+
+def test_delivers_most_at_low_load_full_duty():
+    res = smac_run()
+    assert res.packets_delivered > 0
+    assert res.delivery_ratio > 0.6
+
+
+def test_duty_cycle_caps_active_time():
+    low = smac_run(duty_cycle=0.3, rate_bps=3.0)
+    # active fraction tracks the duty setting (handshakes may spill a bit)
+    assert 0.25 <= float(low.active_fraction.mean()) <= 0.55
+    full = smac_run(duty_cycle=1.0, rate_bps=3.0)
+    assert float(full.active_fraction.mean()) > 0.95
+
+
+def test_throughput_degrades_with_duty_cycle():
+    full = smac_run(rate_bps=20.0)
+    low = smac_run(rate_bps=20.0, duty_cycle=0.3)
+    assert low.throughput_bps < full.throughput_bps
+
+
+def test_saturates_below_offered_at_high_load():
+    # 20 sensors x 60 Bps = 1200 Bps total on a multi-hop topology: collisions
+    # and AODV overhead keep S-MAC below the offered load even fully awake.
+    res = smac_run(n_sensors=20, rate_bps=60.0, duration=30.0)
+    assert res.throughput_bps < res.offered_bps * 0.95
+
+
+def test_control_overhead_grows_with_load():
+    light = smac_run(rate_bps=3.0)
+    heavy = smac_run(rate_bps=30.0)
+    assert heavy.control_frames > light.control_frames
+
+
+def test_multihop_delivery_over_chain():
+    dep = line(3, spacing=30.0, comm_range=35.0)
+    res = run_smac_simulation(
+        SmacSimConfig(
+            n_sensors=3, rate_bps=10.0, duty_cycle=1.0, duration=40.0, warmup=5.0, seed=0
+        ),
+        deployment=dep,
+    )
+    # packets from the 3-hop-deep sensor made it via AODV relaying
+    origins = {p.origin for p in res.net.sink.delivered}
+    assert 2 in origins
+
+
+def test_queue_drops_counted_under_overload():
+    res = smac_run(rate_bps=120.0, duty_cycle=0.3, duration=30.0)
+    drops = sum(n.dropped_queue + n.dropped_route for n in res.net.sensors)
+    assert drops + res.packets_delivered <= res.packets_generated + 100
+    assert res.delivery_ratio < 0.8
+
+
+def test_deterministic_given_seed():
+    a = smac_run(seed=9)
+    b = smac_run(seed=9)
+    assert a.packets_delivered == b.packets_delivered
+    assert a.control_frames == b.control_frames
+
+
+def test_overheard_unicast_rrep_not_forwarded():
+    """Regression: a node overhearing someone else's unicast RREP must not
+    process or re-forward it.  (An early build forwarded every decoded RREP,
+    multiplying each reply through all neighbors into a ~40,000-frame storm
+    that flattened throughput at every load.)"""
+    from repro.mac.base import build_cluster_phy
+    from repro.mac.smac import SmacNetwork, SmacParams
+    from repro.radio.packet import Frame, FrameType
+    from repro.routing.aodv import Rrep
+    from repro.sim import Simulator
+    from repro.topology import Cluster, line
+
+    sim = Simulator()
+    dep = line(3, spacing=30.0, comm_range=35.0)
+    phy = build_cluster_phy(
+        sim,
+        Cluster.from_deployment(dep),
+        sensor_range_m=35.0,
+        homogeneous_head=True,
+    )
+    net = SmacNetwork(phy)
+    bystander = net.nodes[2]
+    before = bystander.control_tx + bystander.aodv.control_tx
+    rrep = Frame(
+        ftype=FrameType.AODV,
+        src=0,
+        dst=1,  # addressed to node 1, not node 2
+        size_bytes=24,
+        payload=Rrep(origin=5, dest=3, dest_seq=1, hop_count=0, lifetime=10.0),
+    )
+    bystander._on_frame(rrep, 1e-9)
+    sim.run(until=1.0)
+    assert bystander.control_tx + bystander.aodv.control_tx == before
+    assert 3 not in bystander.aodv.routes  # didn't even learn from it

@@ -1,0 +1,129 @@
+"""Protocol-level AODV tests (synchronous, no simulator)."""
+
+import pytest
+
+from repro.routing import BROADCAST, AodvAgent, Rerr, Rrep, Rreq
+
+
+def drive_flood(agents: dict[int, AodvAgent], links: dict[int, list[int]], origin: int, dest: int, now: float = 0.0):
+    """Synchronously propagate a discovery through a static topology.
+
+    ``links[u]`` = neighbors that hear u.  Returns after the flood and the
+    RREP unwind settle.
+    """
+    req, _ = agents[origin].make_rreq(dest)
+    inbox: list[tuple[object, int, int]] = [
+        (req, origin, nbr) for nbr in links[origin]
+    ]
+    guard = 0
+    while inbox:
+        guard += 1
+        assert guard < 10_000, "flood did not settle"
+        msg, from_node, at_node = inbox.pop(0)
+        replies = agents[at_node].on_receive(
+            msg, from_node, now, is_dest=(at_node == dest)
+        )
+        for out, link_dst in replies:
+            if link_dst == BROADCAST:
+                inbox.extend((out, at_node, nbr) for nbr in links[at_node])
+            else:
+                if link_dst in links[at_node]:
+                    inbox.append((out, at_node, link_dst))
+
+
+def line_topology(n: int) -> tuple[dict[int, AodvAgent], dict[int, list[int]]]:
+    agents = {i: AodvAgent(node_id=i) for i in range(n)}
+    links = {i: [j for j in (i - 1, i + 1) if 0 <= j < n] for i in range(n)}
+    return agents, links
+
+
+def test_discovery_installs_forward_route_along_line():
+    agents, links = line_topology(5)
+    drive_flood(agents, links, origin=0, dest=4)
+    # hop-by-hop next hops lead to 4
+    node, hops = 0, 0
+    while node != 4:
+        nxt = agents[node].route_to(4, now=1.0)
+        assert nxt is not None
+        node = nxt
+        hops += 1
+        assert hops <= 5
+    assert hops == 4
+
+
+def test_reverse_routes_learned_during_flood():
+    agents, links = line_topology(4)
+    drive_flood(agents, links, origin=0, dest=3)
+    # intermediate nodes know the way back to the origin
+    assert agents[2].route_to(0, now=1.0) == 1
+    assert agents[1].route_to(0, now=1.0) == 0
+
+
+def test_duplicate_rreq_suppressed():
+    agents, links = line_topology(3)
+    req, _ = agents[0].make_rreq(2)
+    first = agents[1].on_receive(req, 0, 0.0)
+    second = agents[1].on_receive(req, 0, 0.0)
+    assert first and not second
+
+
+def test_route_expiry():
+    agent = AodvAgent(node_id=0, route_lifetime=5.0)
+    rep = Rrep(origin=0, dest=9, dest_seq=1, hop_count=0, lifetime=5.0)
+    agent.on_receive(rep, from_node=3, now=0.0)
+    assert agent.route_to(9, now=1.0) == 3
+    assert agent.route_to(9, now=6.0) is None
+
+
+def test_fresher_sequence_number_wins():
+    agent = AodvAgent(node_id=0)
+    agent.on_receive(Rrep(origin=0, dest=9, dest_seq=1, hop_count=3, lifetime=10.0), 1, 0.0)
+    agent.on_receive(Rrep(origin=0, dest=9, dest_seq=2, hop_count=7, lifetime=10.0), 2, 0.0)
+    assert agent.route_to(9, now=1.0) == 2  # newer seq beats shorter hops
+    agent.on_receive(Rrep(origin=0, dest=9, dest_seq=2, hop_count=1, lifetime=10.0), 4, 0.0)
+    assert agent.route_to(9, now=1.0) == 4  # same seq, fewer hops wins
+
+
+def test_invalidate_emits_rerr_and_drops_route():
+    agent = AodvAgent(node_id=0)
+    agent.on_receive(Rrep(origin=0, dest=9, dest_seq=1, hop_count=0, lifetime=10.0), 3, 0.0)
+    out = agent.invalidate(9)
+    assert len(out) == 1 and isinstance(out[0][0], Rerr)
+    assert agent.route_to(9, now=0.1) is None
+    assert agent.invalidate(9) == []  # idempotent
+
+
+def test_rerr_propagates_only_to_dependents():
+    downstream = AodvAgent(node_id=5)
+    downstream.on_receive(Rrep(origin=5, dest=9, dest_seq=1, hop_count=2, lifetime=10.0), 3, 0.0)
+    # RERR from the node we route through: invalidate + re-broadcast
+    out = downstream.on_receive(Rerr(dest=9, dest_seq=2), 3, 0.1)
+    assert out and downstream.route_to(9, now=0.2) is None
+    # RERR from an unrelated node: ignored
+    other = AodvAgent(node_id=6)
+    other.on_receive(Rrep(origin=6, dest=9, dest_seq=1, hop_count=2, lifetime=10.0), 2, 0.0)
+    assert other.on_receive(Rerr(dest=9, dest_seq=2), 4, 0.1) == []
+    assert other.route_to(9, now=0.2) == 2
+
+
+def test_intermediate_cache_answers():
+    agents, links = line_topology(4)
+    drive_flood(agents, links, origin=0, dest=3)
+    # now node 1 knows a route to 3; a fresh flood from 0 should get an
+    # answer straight from node 1's cache.
+    req, _ = agents[0].make_rreq(3)
+    replies = agents[1].on_receive(req, 0, now=1.0)
+    assert any(isinstance(msg, Rrep) for msg, _ in replies)
+
+
+def test_purge_drops_expired():
+    agent = AodvAgent(node_id=0, route_lifetime=1.0)
+    agent.on_receive(Rrep(origin=0, dest=9, dest_seq=1, hop_count=0, lifetime=1.0), 3, 0.0)
+    agent.purge(now=2.0)
+    assert 9 not in agent.routes
+
+
+def test_control_tx_counted():
+    agents, links = line_topology(4)
+    drive_flood(agents, links, origin=0, dest=3)
+    assert sum(a.control_tx for a in agents.values()) >= 4  # flood + RREPs

@@ -1,0 +1,128 @@
+"""Max-flow unit tests, cross-validated against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import INF, FlowNetwork
+
+
+def test_simple_chain_bottleneck():
+    g = FlowNetwork(4)
+    g.add_edge(0, 1, 3)
+    g.add_edge(1, 2, 2)
+    g.add_edge(2, 3, 5)
+    assert g.max_flow(0, 3) == 2
+
+
+def test_parallel_paths_sum():
+    g = FlowNetwork(4)
+    g.add_edge(0, 1, 3)
+    g.add_edge(1, 3, 3)
+    g.add_edge(0, 2, 4)
+    g.add_edge(2, 3, 4)
+    assert g.max_flow(0, 3) == 7
+
+
+def test_classic_crossing_network():
+    # The textbook example needing the residual (reverse) edge.
+    g = FlowNetwork(4)
+    g.add_edge(0, 1, 1)
+    g.add_edge(0, 2, 1)
+    g.add_edge(1, 2, 1)
+    g.add_edge(1, 3, 1)
+    g.add_edge(2, 3, 1)
+    assert g.max_flow(0, 3) == 2
+
+
+def test_disconnected_is_zero():
+    g = FlowNetwork(4)
+    g.add_edge(0, 1, 5)
+    g.add_edge(2, 3, 5)
+    assert g.max_flow(0, 3) == 0
+
+
+def test_infinite_capacity_edges():
+    g = FlowNetwork(3)
+    g.add_edge(0, 1, INF)
+    g.add_edge(1, 2, 7)
+    assert g.max_flow(0, 2) == 7
+
+
+def test_edge_flow_conservation_and_capacity():
+    g = FlowNetwork(5)
+    edges = [(0, 1, 4), (0, 2, 3), (1, 3, 3), (2, 3, 2), (1, 2, 2), (3, 4, 6)]
+    ids = [g.add_edge(u, v, c) for u, v, c in edges]
+    total = g.max_flow(0, 4)
+    assert total == 5
+    # capacity respected
+    for eid, (_, _, cap) in zip(ids, edges):
+        assert 0 <= g.edge_flow(eid) <= cap
+    # conservation at interior nodes
+    for node in (1, 2, 3):
+        inflow = sum(
+            g.edge_flow(eid)
+            for eid, (u, v, _) in zip(ids, edges)
+            if v == node
+        )
+        outflow = sum(
+            g.edge_flow(eid)
+            for eid, (u, v, _) in zip(ids, edges)
+            if u == node
+        )
+        assert inflow == outflow
+
+
+def test_validation():
+    g = FlowNetwork(2)
+    with pytest.raises(ValueError):
+        g.add_edge(0, 5, 1)
+    with pytest.raises(ValueError):
+        g.add_edge(0, 1, -1)
+    with pytest.raises(ValueError):
+        g.max_flow(0, 0)
+    with pytest.raises(ValueError):
+        FlowNetwork(0)
+
+
+def test_reset_flow_allows_resolve():
+    g = FlowNetwork(3)
+    e = g.add_edge(0, 1, 5)
+    g.add_edge(1, 2, 5)
+    assert g.max_flow(0, 2) == 5
+    g.set_capacity(e, 2)
+    g.reset_flow()
+    assert g.max_flow(0, 2) == 2
+
+
+@st.composite
+def random_flow_instance(draw):
+    n = draw(st.integers(3, 8))
+    n_edges = draw(st.integers(1, 20))
+    edges = []
+    for _ in range(n_edges):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u == v:
+            continue
+        cap = draw(st.integers(0, 12))
+        edges.append((u, v, cap))
+    return n, edges
+
+
+@given(random_flow_instance())
+@settings(max_examples=60, deadline=None)
+def test_matches_networkx_on_random_graphs(instance):
+    n, edges = instance
+    ours = FlowNetwork(n)
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+    for u, v, cap in edges:
+        ours.add_edge(u, v, cap)
+        if g.has_edge(u, v):
+            g[u][v]["capacity"] += cap
+        else:
+            g.add_edge(u, v, capacity=cap)
+    expected = nx.maximum_flow_value(g, 0, n - 1) if g.number_of_edges() else 0
+    assert ours.max_flow(0, n - 1) == expected

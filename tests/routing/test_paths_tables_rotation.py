@@ -1,0 +1,167 @@
+"""Tests for RoutingPlan, source routing / one-hop tables, path rotation."""
+
+import numpy as np
+import pytest
+
+from repro.routing import (
+    OneHopTables,
+    PathRotator,
+    RoutingPlan,
+    SourceRouteHeader,
+    build_one_hop_tables,
+    route_packet,
+    solve_min_max_load,
+    source_route_overhead_bytes,
+    validate_path,
+)
+from repro.topology import HEAD, Cluster, uniform_square
+
+
+# --- RoutingPlan ---------------------------------------------------------------
+
+def test_plan_validates_paths(fig2_cluster):
+    with pytest.raises(ValueError):
+        RoutingPlan(cluster=fig2_cluster, paths={1: (1, 2, HEAD)})  # 2 can't hear 1
+    with pytest.raises(ValueError):
+        RoutingPlan(cluster=fig2_cluster, paths={1: (0, HEAD)})  # must start at owner
+    with pytest.raises(ValueError):
+        RoutingPlan(cluster=fig2_cluster, paths={1: (1, 0)})  # must end at head
+
+
+def test_validate_path_rejects_loops(chain_cluster):
+    with pytest.raises(ValueError):
+        validate_path(chain_cluster, (2, 1, 2, 1, 0, HEAD))
+    with pytest.raises(ValueError):
+        validate_path(chain_cluster, (0, HEAD, HEAD))
+
+
+def test_plan_loads_and_dependents(chain_cluster):
+    plan = RoutingPlan(
+        cluster=chain_cluster,
+        paths={
+            0: (0, HEAD),
+            1: (1, 0, HEAD),
+            2: (2, 1, 0, HEAD),
+            3: (3, 2, 1, 0, HEAD),
+        },
+    )
+    assert plan.loads().tolist() == [4, 3, 2, 1]
+    assert plan.dependents(0) == [1, 2, 3]
+    assert plan.dependents(3) == []
+    assert plan.hop_count(3) == 4
+    assert plan.max_hop_count() == 4
+    assert plan.first_level_sensor_of(3) == 0
+
+
+def test_plan_loads_respect_packet_counts(fig2_cluster):
+    c = fig2_cluster.with_packets([0, 3, 2])
+    plan = RoutingPlan(cluster=c, paths={1: (1, 0, HEAD), 2: (2, HEAD)})
+    assert plan.loads().tolist() == [3, 3, 2]
+    assert plan.max_load() == 3
+
+
+def test_used_links(fig2_cluster):
+    plan = RoutingPlan(cluster=fig2_cluster, paths={1: (1, 0, HEAD), 2: (2, HEAD)})
+    assert plan.used_links() == [(0, HEAD), (1, 0), (2, HEAD)]
+
+
+def test_subplan(chain_cluster):
+    plan = RoutingPlan(
+        cluster=chain_cluster,
+        paths={s: tuple(range(s, -1, -1)) + (HEAD,) for s in range(4)},
+    )
+    sub = plan.subplan([1, 3])
+    assert set(sub.paths) == {1, 3}
+
+
+# --- one-hop tables vs source routing -------------------------------------------
+
+def test_tables_match_source_routes_everywhere():
+    for seed in range(4):
+        dep = uniform_square(12, seed=seed)
+        c = Cluster.from_deployment(dep)
+        plan = solve_min_max_load(c).routing_plan()
+        tables = build_one_hop_tables(plan)
+        for origin, path in plan.paths.items():
+            assert tuple(route_packet(origin, plan, tables)) == path
+
+
+def test_source_route_header_advance():
+    header = SourceRouteHeader.for_path((3, 1, 0, HEAD))
+    assert header.next_hop() == 1
+    header = header.advance()
+    assert header.next_hop() == 0
+    header = header.advance()
+    assert header.next_hop() == HEAD
+    header = header.advance()
+    with pytest.raises(ValueError):
+        header.next_hop()
+
+
+def test_table_storage_is_one_entry_per_origin(chain_cluster):
+    plan = RoutingPlan(
+        cluster=chain_cluster,
+        paths={s: tuple(range(s, -1, -1)) + (HEAD,) for s in range(4)},
+    )
+    tables = build_one_hop_tables(plan)
+    # s0 forwards for all four origins (itself + 3 dependents)
+    assert tables.entries_at(0) == 4
+    assert tables.entries_at(3) == 1
+
+
+def test_conflicting_next_hops_rejected(fig2_cluster):
+    tables = OneHopTables(tables={0: {1: HEAD}})
+    assert tables.next_hop(0, 1) == HEAD
+    with pytest.raises(KeyError):
+        tables.next_hop(0, 99)
+
+
+def test_source_route_overhead(fig2_cluster):
+    plan = RoutingPlan(cluster=fig2_cluster, paths={1: (1, 0, HEAD), 2: (2, HEAD)})
+    overhead = source_route_overhead_bytes(plan, bytes_per_hop=2)
+    assert overhead == {1: 4, 2: 2}
+
+
+# --- multiple-path rotation (Sec. V-D) --------------------------------------------
+
+def test_rotation_exact_proportions():
+    """Paper's example: 2 units on path 1, 1 on path 2 -> 2:1 cycle usage."""
+    c = Cluster.from_edges(
+        4,
+        sensor_edges=[(0, 2), (1, 2), (0, 3), (1, 3)],
+        head_links=[0, 1],
+        packets=[0, 0, 3, 0],
+    )
+    sol = solve_min_max_load(c)
+    rot = PathRotator(sol)
+    alternatives = sol.flow_paths[2]
+    if len(alternatives) >= 2:
+        total_units = sum(u for _, u in alternatives)
+        for _ in range(total_units * 4):
+            rot.next_cycle()
+        counts = rot.usage_counts()[2]
+        for (path, units), used in zip(alternatives, counts):
+            assert used == 4 * units  # exact quota honored
+
+
+def test_rotation_average_load_converges_to_flow_loads():
+    dep = uniform_square(12, seed=6)
+    rng = np.random.default_rng(6)
+    c = Cluster.from_deployment(dep).with_packets(rng.integers(1, 4, size=12))
+    sol = solve_min_max_load(c)
+    cycles = 60
+    rot = PathRotator(sol)
+    acc = np.zeros(12, dtype=np.int64)
+    for _ in range(cycles):
+        acc += rot.next_cycle().loads()
+    avg = acc / cycles
+    # long-run average load approaches the flow's balanced loads
+    assert np.all(np.abs(avg - sol.loads) <= sol.max_load * 0.51 + 1)
+
+
+def test_rotation_single_path_sensors_never_switch(fig2_cluster):
+    sol = solve_min_max_load(fig2_cluster)
+    rot = PathRotator(sol)
+    first = rot.next_cycle().paths
+    for _ in range(5):
+        assert rot.next_cycle().paths == first

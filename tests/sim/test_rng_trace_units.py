@@ -1,0 +1,116 @@
+"""Tests for seeded RNG streams, the tracer, and unit helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import RngStreams, Tracer, derive_seed
+from repro.sim.units import (
+    DEFAULT_NOISE_FLOOR_W,
+    bytes_to_bits,
+    dbm_to_watts,
+    transmission_time,
+    watts_to_dbm,
+)
+
+
+# --- rng ----------------------------------------------------------------------
+
+def test_same_stream_name_returns_same_generator():
+    streams = RngStreams(1)
+    assert streams.get("x") is streams.get("x")
+
+
+def test_streams_with_same_seed_reproduce():
+    a = RngStreams(99).get("traffic").random(10)
+    b = RngStreams(99).get("traffic").random(10)
+    assert (a == b).all()
+
+
+def test_different_names_give_different_sequences():
+    streams = RngStreams(0)
+    a = streams.get("a").random(8)
+    b = streams.get("b").random(8)
+    assert not (a == b).all()
+
+
+def test_fork_is_independent_of_parent_consumption():
+    parent1 = RngStreams(7)
+    parent1.get("main").random(100)  # consume a lot
+    child1 = parent1.fork("w").get("s").random(5)
+    child2 = RngStreams(7).fork("w").get("s").random(5)
+    assert (child1 == child2).all()
+
+
+@given(st.integers(0, 2**31), st.text(max_size=20), st.text(max_size=20))
+def test_derive_seed_deterministic_and_in_range(base, a, b):
+    s1 = derive_seed(base, a, b)
+    s2 = derive_seed(base, a, b)
+    assert s1 == s2
+    assert 0 <= s1 < 2**63
+
+
+def test_derive_seed_order_sensitive():
+    assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+
+# --- tracer -------------------------------------------------------------------
+
+def test_tracer_counts_without_subscribers():
+    t = Tracer()
+    t.emit(0.0, "rx_ok", node=1)
+    t.emit(1.0, "rx_ok", node=2)
+    assert t.counts["rx_ok"] == 2
+    assert t.records == []  # not retained by default
+
+
+def test_tracer_dispatch_and_wildcard():
+    t = Tracer()
+    specific, everything = [], []
+    t.subscribe("tx", specific.append)
+    t.subscribe("*", everything.append)
+    t.emit(0.0, "tx", node=1, size=80)
+    t.emit(0.5, "rx", node=2)
+    assert len(specific) == 1 and specific[0].detail["size"] == 80
+    assert len(everything) == 2
+
+
+def test_tracer_retention_and_reset():
+    t = Tracer(keep_records=True)
+    t.emit(0.0, "a")
+    t.emit(1.0, "b")
+    assert [r.kind for r in t.records_of("a")] == ["a"]
+    t.reset()
+    assert t.counts == {} and t.records == []
+
+
+# --- units --------------------------------------------------------------------
+
+def test_80_byte_packet_at_200kbps_is_3_2_ms():
+    assert transmission_time(80, 200_000.0) == pytest.approx(3.2e-3)
+
+
+def test_bytes_to_bits():
+    assert bytes_to_bits(10) == 80
+
+
+def test_transmission_time_validation():
+    with pytest.raises(ValueError):
+        transmission_time(-1, 200_000.0)
+    with pytest.raises(ValueError):
+        transmission_time(80, 0.0)
+
+
+def test_dbm_round_trip():
+    for dbm in (-101.0, -30.0, 0.0, 20.0):
+        assert watts_to_dbm(dbm_to_watts(dbm)) == pytest.approx(dbm)
+
+
+def test_noise_floor_matches_minus_101_dbm():
+    assert watts_to_dbm(DEFAULT_NOISE_FLOOR_W) == pytest.approx(-101.0)
+
+
+def test_watts_to_dbm_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        watts_to_dbm(0.0)

@@ -1,0 +1,34 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, FAST, main
+
+
+def test_list_prints_catalog(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_fig2_via_cli(capsys):
+    assert main(["fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "multi-hop polling example" in out
+    assert "2" in out
+
+
+def test_fig6_via_cli(capsys):
+    assert main(["fig6"]) == 0
+    assert "CPAR" in capsys.readouterr().out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])
+
+
+def test_fast_set_is_runnable_subset():
+    assert set(FAST) <= set(EXPERIMENTS)
+    assert "fig7b" not in FAST  # the slow DES sweep stays opt-in

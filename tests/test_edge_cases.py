@@ -1,0 +1,129 @@
+"""Assorted edge cases across modules (empty inputs, degenerate topologies)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    OnlinePollingScheduler,
+    PollingSchedule,
+    RequestPool,
+    Sector,
+    SectorPartition,
+    partition_into_sectors,
+)
+from repro.interference import TabulatedOracle
+from repro.routing import PathRotator, RoutingPlan, solve_min_max_load
+from repro.topology import HEAD, Cluster
+
+from .conftest import AllCompatibleOracle
+
+
+def test_single_sensor_cluster():
+    c = Cluster.from_edges(1, [], [0], packets=[3])
+    sol = solve_min_max_load(c)
+    assert sol.max_load == 3
+    result = OnlinePollingScheduler.poll(sol.routing_plan(), AllCompatibleOracle())
+    assert result.makespan == 3
+
+
+def test_sensor_with_zero_packets_is_skipped():
+    c = Cluster.from_edges(2, [], [0, 1], packets=[0, 2])
+    plan = solve_min_max_load(c).routing_plan()
+    pool = RequestPool(plan)
+    assert {r.sensor for r in pool} == {1}
+
+
+def test_empty_schedule_properties():
+    s = PollingSchedule()
+    assert s.n_slots == 0
+    assert s.makespan() == 0
+    assert s.transmissions_total() == 0
+    assert s.concurrency_profile() == []
+    assert s.last_slot_of_node(0) is None
+    s.validate([], None)  # vacuously legal
+
+
+def test_rotator_with_no_flow_paths():
+    c = Cluster.from_edges(2, [], [0, 1], packets=[0, 0])
+    sol = solve_min_max_load(c)
+    rot = PathRotator(sol)
+    plan = rot.next_cycle()
+    assert plan.paths == {}
+    assert rot.usage_counts() == {}
+
+
+def test_sector_partition_empty():
+    c = Cluster.from_edges(2, [], [0, 1], packets=[1, 1])
+    part = SectorPartition(cluster=c, sectors=[])
+    assert part.max_pseudo_rate() == 0.0
+    assert part.n_sectors == 0
+
+
+def test_partition_of_star_is_singletons():
+    c = Cluster.from_edges(4, [], [0, 1, 2, 3], packets=[1, 1, 1, 1])
+    sol = solve_min_max_load(c)
+    part = partition_into_sectors(sol, oracle=AllCompatibleOracle())
+    # no inter-branch links: rule 1 forbids pairing -> four singleton sectors
+    assert part.n_sectors == 4
+    for sec in part.sectors:
+        assert sec.size == 1
+
+
+def test_oracle_group_size_one_means_serial():
+    c = Cluster.from_edges(3, [(0, 1)], [0, 2], packets=[0, 1, 1])
+    oracle = TabulatedOracle([], valid_links=[(1, 0), (0, HEAD), (2, HEAD)], max_group_size=1)
+    result = OnlinePollingScheduler.poll(
+        solve_min_max_load(c).routing_plan(), oracle
+    )
+    assert result.makespan == 3
+    assert max(result.schedule.concurrency_profile()) == 1
+
+
+def test_deep_chain_max_hop_count():
+    n = 8
+    edges = [(i, i + 1) for i in range(n - 1)]
+    c = Cluster.from_edges(n, edges, [0], packets=[0] * (n - 1) + [1])
+    plan = solve_min_max_load(c).routing_plan()
+    assert plan.max_hop_count() == n
+    result = OnlinePollingScheduler.poll(plan, AllCompatibleOracle())
+    assert result.makespan == n  # a single pipeline takes exactly its depth
+
+
+def test_asymmetric_link_routing():
+    # 1 -> 0 audible but 0 -> 1 not: routing must still deliver 1's packet.
+    c = Cluster.from_edges(2, [(0, 1)], [0], packets=[0, 1], symmetric=False)
+    # hears[0,1]: 0 hears 1 -> 1 can forward to 0.
+    sol = solve_min_max_load(c)
+    assert sol.flow_paths[1][0][0] == (1, 0, HEAD)
+
+
+def test_schedule_describe_empty_slot():
+    s = PollingSchedule()
+    from repro.core import Transmission
+
+    s.add(1, Transmission(0, HEAD, 0, 0))
+    text = s.describe()
+    assert "(idle)" in text  # slot 0 stayed empty
+
+
+def test_cluster_one_packet_many_sensors_head_bound():
+    c = Cluster.from_edges(6, [], [0, 1, 2, 3, 4, 5])
+    result = OnlinePollingScheduler.poll(
+        solve_min_max_load(c).routing_plan(), AllCompatibleOracle(max_group_size=3)
+    )
+    # all single-hop: the head is the bottleneck regardless of M
+    assert result.makespan == 6
+
+
+def test_tabulated_oracle_triple_groups():
+    links = [(0, 1), (2, 3), (4, 5)]
+    oracle = TabulatedOracle(
+        [(links[0], links[1]), (links[0], links[2]), (links[1], links[2])],
+        max_group_size=3,
+    )
+    # pairwise closure: all three pairs compatible -> the triple passes
+    assert oracle.compatible(links)
+    oracle2 = TabulatedOracle(
+        [(links[0], links[1]), (links[0], links[2])], max_group_size=3
+    )
+    assert not oracle2.compatible(links)  # one missing pair breaks it

@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs clean as a subprocess.
+
+The examples are a deliverable; these keep them from rotting as the API
+evolves.  The two DES-heavy scripts run with a generous timeout.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 420) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+def test_quickstart_runs():
+    out = run_example("quickstart.py")
+    assert "polling finished in 2 slots" in out
+    assert "validated" in out
+
+
+def test_hardness_gadgets_runs():
+    out = run_example("hardness_gadgets.py")
+    assert "physical-model realization agrees with gadget oracle: True" in out
+    assert "meets threshold: True" in out
+
+
+@pytest.mark.slow
+def test_environment_monitoring_runs():
+    out = run_example("environment_monitoring.py")
+    assert "throughput ratio 1.000" in out
+    assert "lifetime ratio" in out
+
+
+@pytest.mark.slow
+def test_multicluster_runs():
+    out = run_example("multicluster.py")
+    assert "channel assignment" in out
+    assert "token or the channel coloring removes the loss" in out
+
+
+@pytest.mark.slow
+def test_smac_comparison_runs():
+    out = run_example("smac_comparison.py", timeout=600)
+    assert "Multihop Polling" in out
+    assert "SMAC" in out

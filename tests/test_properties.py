@@ -1,0 +1,161 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants.
+
+These go beyond per-module units: they throw randomized clusters, oracles
+and request mixes at the whole scheduling stack and assert the invariants
+the paper's correctness rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    OnlinePollingScheduler,
+    RequestPool,
+    BernoulliLoss,
+    makespan_lower_bound,
+)
+from repro.interference import TabulatedOracle
+from repro.routing import RoutingPlan, build_one_hop_tables, route_packet, solve_min_max_load
+from repro.topology import HEAD, Cluster
+
+
+@st.composite
+def random_cluster(draw):
+    """A random connected-ish cluster with explicit links and packets."""
+    n = draw(st.integers(2, 9))
+    rng_seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(rng_seed)
+    hears = np.zeros((n, n), dtype=bool)
+    # random symmetric links
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < 0.45:
+                hears[i, j] = hears[j, i] = True
+    head_hears = rng.random(n) < 0.5
+    if not head_hears.any():
+        head_hears[int(rng.integers(0, n))] = True
+    packets = rng.integers(0, 3, size=n)
+    cluster = Cluster(hears=hears, head_hears=head_hears, packets=packets)
+    # silence unreachable sensors so routing is feasible
+    hops = cluster.min_hop_counts()
+    packets = np.where(np.isfinite(hops), packets, 0)
+    return Cluster(hears=hears, head_hears=head_hears, packets=packets)
+
+
+@st.composite
+def random_pairwise_oracle(draw, cluster):
+    """A random tabulated pairwise oracle over the cluster's usable links."""
+    links = []
+    n = cluster.n_sensors
+    for i in range(n):
+        for j in range(n):
+            if cluster.hears[j, i]:
+                links.append((i, j))
+        if cluster.head_hears[i]:
+            links.append((i, HEAD))
+    pairs = []
+    rng = np.random.default_rng(draw(st.integers(0, 10_000)))
+    for a in links:
+        for b in links:
+            if a < b and len({a[0], a[1], b[0], b[1]}) == 4 and rng.random() < 0.4:
+                pairs.append((a, b))
+    return TabulatedOracle(pairs, valid_links=links, max_group_size=2)
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_scheduler_invariants_on_arbitrary_interference(data):
+    """On arbitrary clusters with arbitrary pairwise interference, the
+    greedy scheduler (a) terminates, (b) emits a fully legal schedule,
+    (c) respects every lower bound, (d) delivers each packet exactly once."""
+    cluster = data.draw(random_cluster())
+    if cluster.total_packets == 0:
+        return
+    oracle = data.draw(random_pairwise_oracle(cluster))
+    plan = solve_min_max_load(cluster).routing_plan()
+    result = OnlinePollingScheduler.poll(plan, oracle)
+    result.schedule.validate(list(result.pool), oracle)
+    assert result.makespan >= makespan_lower_bound(list(result.pool), 2)
+    assert sorted(result.schedule.delivered) == [
+        r.request_id for r in result.pool.requests
+    ]
+
+
+@given(st.data(), st.floats(0.0, 0.6), st.integers(0, 1000))
+@settings(max_examples=25, deadline=None)
+def test_loss_preserves_legality_and_completeness(data, loss_p, loss_seed):
+    cluster = data.draw(random_cluster())
+    if cluster.total_packets == 0:
+        return
+    oracle = data.draw(random_pairwise_oracle(cluster))
+    plan = solve_min_max_load(cluster).routing_plan()
+    result = OnlinePollingScheduler.poll(
+        plan, oracle, loss=BernoulliLoss(loss_p, seed=loss_seed)
+    )
+    assert result.pool.all_deleted()
+    result.schedule.validate(list(result.pool), oracle)
+    assert result.total_attempts >= len(result.pool.requests)
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_routing_tables_equal_source_routes_everywhere(data):
+    cluster = data.draw(random_cluster())
+    if cluster.total_packets == 0:
+        return
+    plan = solve_min_max_load(cluster).routing_plan()
+    tables = build_one_hop_tables(plan)
+    for origin, path in plan.paths.items():
+        assert tuple(route_packet(origin, plan, tables)) == path
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_flow_loads_are_min_max_optimal_certificates(data):
+    """The flow solution's claimed max load is feasible (paths realize it)
+    and its loads never exceed the claimed bound."""
+    cluster = data.draw(random_cluster())
+    if cluster.total_packets == 0:
+        return
+    sol = solve_min_max_load(cluster)
+    assert sol.loads.max(initial=0) <= sol.max_load
+    # per-sensor conservation: own packets all routed
+    for s in range(cluster.n_sensors):
+        if cluster.packets[s] > 0:
+            assert sum(u for _, u in sol.flow_paths[s]) == cluster.packets[s]
+
+
+@given(st.integers(2, 9), st.integers(0, 500))
+@settings(max_examples=40, deadline=None)
+def test_tree_merge_idempotent_invariants(n, seed):
+    from repro.routing import merge_flow_to_tree
+
+    rng = np.random.default_rng(seed)
+    hears = np.zeros((n, n), dtype=bool)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < 0.5:
+                hears[i, j] = hears[j, i] = True
+    head_hears = rng.random(n) < 0.5
+    if not head_hears.any():
+        head_hears[0] = True
+    cluster = Cluster(hears=hears, head_hears=head_hears)
+    hops = cluster.min_hop_counts()
+    packets = np.where(np.isfinite(hops), 1, 0)
+    cluster = cluster.with_packets(packets)
+    if cluster.total_packets == 0:
+        return
+    sol = solve_min_max_load(cluster)
+    tree = merge_flow_to_tree(sol)
+    # every packet owner in the tree; loads conserve total hop work
+    for s in range(n):
+        if cluster.packets[s] > 0:
+            assert s in tree.parent
+    loads = tree.loads()
+    total_hops = sum(
+        len(tree.path_from(s)) - 1 for s in range(n) if cluster.packets[s] > 0
+    )
+    assert loads.sum() == total_hops

@@ -1,0 +1,111 @@
+"""Tests for the Cluster structure: hearing, hops, validation."""
+
+import numpy as np
+import pytest
+
+from repro.topology import HEAD, Cluster, line, node_name, uniform_square
+
+
+def test_node_name():
+    assert node_name(HEAD) == "t"
+    assert node_name(3) == "s3"
+
+
+def test_from_edges_symmetric_hearing(fig2_cluster):
+    c = fig2_cluster
+    assert c.can_hear(0, 1) and c.can_hear(1, 0)
+    assert not c.can_hear(0, 2)
+    assert c.can_hear(HEAD, 0) and c.can_hear(HEAD, 2)
+    assert not c.can_hear(HEAD, 1)
+    # everyone hears the head (its power covers the cluster)
+    assert all(c.can_hear(s, HEAD) for s in range(3))
+
+
+def test_asymmetric_hearing_supported():
+    c = Cluster.from_edges(2, [(0, 1)], [0], symmetric=False)
+    assert c.can_hear(0, 1) and not c.can_hear(1, 0)
+
+
+def test_no_self_hearing():
+    c = Cluster.from_edges(2, [(0, 1)], [0])
+    assert not c.can_hear(0, 0)
+    with pytest.raises(ValueError):
+        Cluster.from_edges(2, [(1, 1)], [0])
+
+
+def test_construction_validation():
+    with pytest.raises(ValueError):
+        Cluster(hears=np.zeros((2, 3), dtype=bool), head_hears=np.zeros(2, dtype=bool))
+    with pytest.raises(ValueError):
+        Cluster(hears=np.zeros((2, 2), dtype=bool), head_hears=np.zeros(3, dtype=bool))
+    with pytest.raises(ValueError):
+        Cluster(
+            hears=np.zeros((2, 2), dtype=bool),
+            head_hears=np.zeros(2, dtype=bool),
+            packets=[-1, 0],
+        )
+    with pytest.raises(ValueError):
+        Cluster(
+            hears=np.zeros((2, 2), dtype=bool),
+            head_hears=np.zeros(2, dtype=bool),
+            energy=[0.0, 1.0],
+        )
+    bad = np.zeros((2, 2), dtype=bool)
+    bad[0, 0] = True
+    with pytest.raises(ValueError):
+        Cluster(hears=bad, head_hears=np.zeros(2, dtype=bool))
+
+
+def test_default_packets_are_one_each(chain_cluster):
+    c = Cluster.from_edges(3, [(0, 1)], [0])
+    assert c.packets.tolist() == [1, 1, 1]
+    assert c.total_packets == 3
+
+
+def test_neighbors_of(fig2_cluster):
+    assert fig2_cluster.neighbors_of(1) == [0]
+    assert fig2_cluster.neighbors_of(0) == [1, HEAD]
+    assert fig2_cluster.neighbors_of(2) == [HEAD]
+
+
+def test_first_level_sensors(fig2_cluster):
+    assert fig2_cluster.first_level_sensors() == [0, 2]
+
+
+def test_min_hop_counts_chain(chain_cluster):
+    assert chain_cluster.min_hop_counts().tolist() == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_min_hop_counts_unreachable():
+    c = Cluster.from_edges(3, [(0, 1)], [0])  # sensor 2 isolated
+    hops = c.min_hop_counts()
+    assert hops[0] == 1 and hops[1] == 2 and np.isinf(hops[2])
+    assert not c.is_connected()
+
+
+def test_is_connected(chain_cluster, star_cluster):
+    assert chain_cluster.is_connected()
+    assert star_cluster.is_connected()
+
+
+def test_from_deployment_matches_geometry():
+    dep = line(3, spacing=10.0)
+    c = Cluster.from_deployment(dep)
+    assert c.can_hear(1, 0) and not c.can_hear(2, 0)
+    assert c.first_level_sensors() == [0]
+    assert c.positions is not None and c.head_position is not None
+
+
+def test_with_packets_copies(chain_cluster):
+    c2 = chain_cluster.with_packets([0, 0, 5, 0])
+    assert c2.packets.tolist() == [0, 0, 5, 0]
+    assert chain_cluster.packets.tolist() == [1, 1, 1, 1]
+    c2.hears[0, 1] = False
+    assert chain_cluster.hears[0, 1]  # deep copy
+
+
+def test_edge_bounds_checked():
+    with pytest.raises(ValueError):
+        Cluster.from_edges(2, [(0, 5)], [0])
+    with pytest.raises(ValueError):
+        Cluster.from_edges(2, [], [7])

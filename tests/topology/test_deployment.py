@@ -1,0 +1,93 @@
+"""Tests for deployments: connectivity guarantees, determinism, shapes."""
+
+import numpy as np
+import pytest
+
+from repro.topology import Deployment, grid, line, uniform_square
+
+
+def test_uniform_square_is_connected_and_seeded():
+    dep1 = uniform_square(20, seed=3)
+    dep2 = uniform_square(20, seed=3)
+    assert dep1.is_connected()
+    assert np.array_equal(dep1.positions, dep2.positions)
+
+
+def test_uniform_square_different_seeds_differ():
+    a = uniform_square(15, seed=1)
+    b = uniform_square(15, seed=2)
+    assert not np.array_equal(a.positions, b.positions)
+
+
+def test_uniform_square_head_at_center():
+    dep = uniform_square(10, seed=0, side=100.0, comm_range=40.0)
+    assert dep.head_position == pytest.approx([50.0, 50.0])
+
+
+def test_uniform_square_positions_inside_square():
+    dep = uniform_square(50, seed=4, side=120.0, comm_range=50.0)
+    assert (dep.positions >= 0).all() and (dep.positions <= 120.0).all()
+
+
+def test_impossible_parameters_raise():
+    with pytest.raises(RuntimeError):
+        uniform_square(5, seed=0, side=10_000.0, comm_range=10.0, max_attempts=5)
+    with pytest.raises(ValueError):
+        uniform_square(0)
+
+
+def test_grid_shape_and_connectivity():
+    dep = grid(3, 4, spacing=10.0)
+    assert dep.n_sensors == 12
+    assert dep.is_connected()
+    adj = dep.sensor_adjacency()
+    # corner sensor (0,0): neighbors right, up, diagonal = 3
+    assert adj[0].sum() == 3
+
+
+def test_grid_validation():
+    with pytest.raises(ValueError):
+        grid(0, 3, 1.0)
+    with pytest.raises(ValueError):
+        grid(2, 2, -1.0)
+
+
+def test_line_is_a_chain():
+    dep = line(5, spacing=10.0)
+    adj = dep.sensor_adjacency()
+    # sensor i hears only i-1 and i+1
+    for i in range(5):
+        expected = {j for j in (i - 1, i + 1) if 0 <= j < 5}
+        assert set(np.flatnonzero(adj[i])) == expected
+    # only the first sensor reaches the head
+    assert list(np.flatnonzero(dep.head_reachable())) == [0]
+    assert dep.is_connected()
+
+
+def test_line_hop_depth_matches_position():
+    from repro.topology import Cluster
+
+    cluster = Cluster.from_deployment(line(4, spacing=10.0))
+    hops = cluster.min_hop_counts()
+    assert hops.tolist() == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_deployment_disconnection_detected():
+    positions = np.array([[1.0, 0.0], [2.0, 0.0], [100.0, 0.0]])
+    dep = Deployment(
+        head_position=np.array([0.0, 0.0]),
+        positions=positions,
+        comm_range=1.5,
+        side=100.0,
+    )
+    assert not dep.is_connected()
+
+
+def test_no_sensor_hears_head_means_disconnected():
+    dep = Deployment(
+        head_position=np.array([0.0, 0.0]),
+        positions=np.array([[50.0, 0.0], [51.0, 0.0]]),
+        comm_range=5.0,
+        side=60.0,
+    )
+    assert not dep.is_connected()

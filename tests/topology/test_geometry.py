@@ -1,0 +1,82 @@
+"""Tests for vectorized geometry helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.topology import (
+    as_positions,
+    distances_to_point,
+    nearest_index,
+    pairwise_distances,
+    within_range_adjacency,
+)
+
+
+def test_as_positions_promotes_single_point():
+    assert as_positions([1.0, 2.0]).shape == (1, 2)
+
+
+def test_as_positions_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        as_positions(np.zeros((3, 3)))
+    with pytest.raises(ValueError):
+        as_positions(np.zeros((2, 2, 2)))
+
+
+def test_pairwise_distances_known_values():
+    pts = [[0.0, 0.0], [3.0, 4.0], [0.0, 8.0]]
+    d = pairwise_distances(pts)
+    assert d[0, 1] == pytest.approx(5.0)
+    assert d[1, 2] == pytest.approx(5.0)
+    assert d[0, 2] == pytest.approx(8.0)
+    assert (np.diagonal(d) == 0).all()
+
+
+finite_pts = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 8), st.just(2)),
+    elements=st.floats(-1e3, 1e3),
+)
+
+
+@given(finite_pts)
+def test_pairwise_distances_symmetric_nonnegative(pts):
+    d = pairwise_distances(pts)
+    assert np.allclose(d, d.T)
+    assert (d >= 0).all()
+
+
+@given(finite_pts)
+def test_triangle_inequality(pts):
+    d = pairwise_distances(pts)
+    n = d.shape[0]
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                assert d[i, j] <= d[i, k] + d[k, j] + 1e-6
+
+
+def test_distances_to_point():
+    pts = [[0.0, 0.0], [6.0, 8.0]]
+    d = distances_to_point(pts, [0.0, 0.0])
+    assert d[0] == 0.0 and d[1] == pytest.approx(10.0)
+
+
+def test_within_range_adjacency_excludes_self():
+    pts = [[0.0, 0.0], [1.0, 0.0], [10.0, 0.0]]
+    adj = within_range_adjacency(pts, 2.0)
+    assert adj[0, 1] and adj[1, 0]
+    assert not adj[0, 2] and not adj[2, 0]
+    assert not np.diagonal(adj).any()
+
+
+def test_within_range_requires_positive_range():
+    with pytest.raises(ValueError):
+        within_range_adjacency([[0.0, 0.0]], 0.0)
+
+
+def test_nearest_index():
+    pts = [[0.0, 0.0], [5.0, 5.0], [1.0, 1.0]]
+    assert nearest_index(pts, [1.1, 1.1]) == 2

@@ -1,0 +1,71 @@
+"""Tests for CBR traffic generation."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.traffic import CbrSource, attach_cbr_sources, packets_per_cycle
+
+
+class FakeAgent:
+    def __init__(self):
+        self.count = 0
+
+    def generate_packet(self):
+        self.count += 1
+
+
+def test_packets_per_cycle_arithmetic():
+    # 80 Bps, 10 s cycle, 80-byte packets -> 10 packets per cycle
+    assert packets_per_cycle(80.0, 10.0, 80) == pytest.approx(10.0)
+    assert packets_per_cycle(20.0, 10.0, 80) == pytest.approx(2.5)
+    with pytest.raises(ValueError):
+        packets_per_cycle(10.0, 0.0, 80)
+
+
+def test_cbr_rate_honored():
+    sim = Simulator()
+    agent = FakeAgent()
+    src = CbrSource(sim=sim, deliver=agent.generate_packet, rate_bps=80.0, packet_bytes=80)
+    src.start()
+    sim.run(until=10.0)
+    assert agent.count == 10  # one per second
+    assert src.generated == 10
+
+
+def test_cbr_zero_rate_generates_nothing():
+    sim = Simulator()
+    agent = FakeAgent()
+    CbrSource(sim=sim, deliver=agent.generate_packet, rate_bps=0.0, packet_bytes=80).start()
+    sim.run(until=10.0)
+    assert agent.count == 0
+
+
+def test_cbr_until_cap():
+    sim = Simulator()
+    agent = FakeAgent()
+    src = CbrSource(sim=sim, deliver=agent.generate_packet, rate_bps=80.0, packet_bytes=80)
+    src.start(until=3.0)
+    sim.run(until=10.0)
+    assert agent.count == 3
+
+
+def test_attach_sources_phase_spread():
+    sim = Simulator()
+    agents = [FakeAgent() for _ in range(20)]
+    sources = attach_cbr_sources(sim, agents, rate_bps=40.0, packet_bytes=80, seed=1)
+    phases = {s.phase for s in sources}
+    assert len(phases) > 15  # phases actually differ
+    sim.run(until=20.0)
+    counts = [a.count for a in agents]
+    assert all(9 <= c <= 11 for c in counts)  # ~10 packets each
+
+
+def test_attach_sources_reproducible():
+    def run(seed):
+        sim = Simulator()
+        agents = [FakeAgent() for _ in range(5)]
+        attach_cbr_sources(sim, agents, rate_bps=30.0, seed=seed)
+        sim.run(until=13.0)
+        return [a.count for a in agents]
+
+    assert run(7) == run(7)
