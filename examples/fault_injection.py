@@ -1,0 +1,48 @@
+"""Fault injection: kill a relay mid-run and watch the head recover.
+
+Runs the same seeded 30-sensor cluster twice — fault-free, then with a
+FaultPlan that crashes the busiest relay in the middle of a data phase —
+and prints how gracefully the polling system degrades: requests through the
+dead node exhaust their retry budgets, the head localizes the death from
+missing ack counts, blacklists the node, repairs routing around it at the
+next duty-cycle boundary, and keeps serving every sensor it still can.
+
+Run:  python examples/fault_injection.py
+"""
+
+from repro.faults import FaultPlan, NodeCrash
+from repro.net.cluster_sim import PollingSimConfig, run_polling_simulation
+
+# --- fault-free reference run -------------------------------------------------
+config = PollingSimConfig(n_sensors=30, n_cycles=8, seed=3)
+baseline = run_polling_simulation(config)
+print(f"fault-free: {baseline.packets_delivered} packets delivered, "
+      f"throughput ratio {baseline.throughput_ratio:.3f}")
+
+# --- pick a victim: the first relay the min-max routing actually uses ---------
+paths = baseline.mac.routing.routing_plan().paths
+victim = min(n for p in paths.values() for n in p[1:-1] if n >= 0)
+print(f"killing relay s{victim} at t=20.3 s (mid data phase of cycle 2)\n")
+
+# --- the faulted run ----------------------------------------------------------
+plan = FaultPlan(crashes=[NodeCrash(node=victim, at=20.3)])
+faulted = run_polling_simulation(
+    PollingSimConfig(n_sensors=30, n_cycles=8, seed=3, fault_plan=plan)
+)
+deg = faulted.degradation
+
+print(f"delivered        : {deg.delivered} (was {baseline.packets_delivered})")
+print(f"retry-exhausted  : {deg.failed}")
+print(f"delivery ratio   : {deg.delivery_ratio:.3f}")
+print(f"ground-truth dead: {sorted(deg.dead_true)}")
+print(f"head's blacklist : {sorted(deg.blacklisted)} "
+      f"(false positives: {sorted(deg.false_positives)})")
+print(f"unreachable      : {sorted(deg.unreachable)}")
+print(f"coverage         : {deg.surviving_coverage:.3f}")
+print(f"stranded packets : {deg.stranded_packets} (inside the dead relay)")
+print(f"route repairs    : {deg.route_repairs}")
+
+assert deg.delivery_ratio < 1.0
+assert victim in deg.blacklisted
+assert deg.route_repairs >= 1
+print("\nthe head found the dead relay, repaired routing, and kept polling.")

@@ -42,6 +42,15 @@ from .interference import (
     TabulatedOracle,
     probe_groups,
 )
+from .faults import (
+    BatteryDepletion,
+    BurstyLinks,
+    FaultInjector,
+    FaultPlan,
+    GilbertElliottLoss,
+    NodeCrash,
+    TransientStun,
+)
 from .sim import RngStreams, Simulator
 
 __version__ = "1.0.0"
@@ -75,6 +84,13 @@ __all__ = [
     "ProtocolModelOracle",
     "PhysicalModelOracle",
     "probe_groups",
+    "FaultPlan",
+    "NodeCrash",
+    "TransientStun",
+    "BatteryDepletion",
+    "BurstyLinks",
+    "GilbertElliottLoss",
+    "FaultInjector",
     "Simulator",
     "RngStreams",
     "__version__",

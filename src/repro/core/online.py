@@ -71,13 +71,39 @@ class BernoulliLoss(LossModel):
 
 @dataclass
 class OnlineResult:
-    """Everything the experiments need from one polling run."""
+    """Everything the experiments need from one polling run.
+
+    ``failed_ids`` are requests abandoned after exhausting their retry budget
+    (or belonging to a blacklisted sensor) — they were *not* delivered, and
+    callers accounting throughput must treat them explicitly rather than
+    assume every request in the pool reached the head.  ``blacklisted`` are
+    sensors the head declared dead during the run (see
+    ``dead_after_misses``).
+    """
 
     schedule: PollingSchedule
     pool: RequestPool
     makespan: int
     total_attempts: int
     slots_elapsed: int
+    failed_ids: frozenset[int] = frozenset()
+    blacklisted: frozenset[int] = frozenset()
+
+    @property
+    def n_failed(self) -> int:
+        """Requests that exhausted their retry budget and were abandoned."""
+        return len(self.failed_ids)
+
+    @property
+    def delivered_count(self) -> int:
+        return len(self.pool.requests) - self.n_failed
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / total requests (1.0 for a fault-free run)."""
+        if not self.pool.requests:
+            return 1.0
+        return self.delivered_count / len(self.pool.requests)
 
     @property
     def retransmissions(self) -> int:
@@ -101,6 +127,22 @@ class OnlinePollingScheduler:
     max_slots:
         safety valve — raises if polling hasn't finished by then (prevents
         infinite loops under pathological loss).
+    retry_limit:
+        per-request retry budget.  ``None`` (the default) means **retry
+        forever** — the paper's idealized head, which re-polls until every
+        packet arrives (and therefore never terminates if a sensor is truly
+        dead; ``max_slots`` is the only backstop).  With an integer limit, a
+        request whose attempt count reaches the limit is abandoned and
+        reported in :attr:`OnlineResult.failed_ids` rather than silently
+        dropped.
+    dead_after_misses:
+        head-side dead-sensor detection.  ``None`` disables it (default;
+        behavior is bit-for-bit the pre-fault-subsystem algorithm).  With an
+        integer K, a sensor whose packets miss K *consecutive* expected
+        arrival slots is declared dead: all its remaining requests are
+        abandoned into ``failed_ids`` and the sensor joins ``blacklist`` so
+        the MAC can exclude it from future cycles and repair routes around
+        it.
     """
 
     def __init__(
@@ -111,6 +153,7 @@ class OnlinePollingScheduler:
         order: str = "index",
         max_slots: int = 1_000_000,
         retry_limit: int | None = None,
+        dead_after_misses: int | None = None,
     ):
         self.plan = plan
         self.oracle = oracle
@@ -118,7 +161,14 @@ class OnlinePollingScheduler:
         self.pool = RequestPool(plan, order=order)
         self.max_slots = max_slots
         self.retry_limit = retry_limit
+        if dead_after_misses is not None and dead_after_misses < 1:
+            raise ValueError(
+                f"dead_after_misses must be >= 1, got {dead_after_misses}"
+            )
+        self.dead_after_misses = dead_after_misses
         self.failed: set[int] = set()
+        self.blacklist: set[int] = set()
+        self._miss_streak: dict[int, int] = {}
         self.schedule = PollingSchedule()
         # Per-request progress of the current attempt: request_id -> the
         # farthest hop that actually carries the packet (loss truncates it).
@@ -159,6 +209,8 @@ class OnlinePollingScheduler:
             makespan=self.schedule.makespan(),
             total_attempts=self.pool.total_attempts(),
             slots_elapsed=t,
+            failed_ids=frozenset(self.failed),
+            blacklisted=frozenset(self.blacklist),
         )
 
     # -- external (simulator-driven) stepping -------------------------------------
@@ -170,12 +222,17 @@ class OnlinePollingScheduler:
 
     def external_step(self, t: int, delivered_now: set[int]) -> list[Transmission]:
         """Advance to slot *t* given the head's observed arrivals at t-1."""
-        for req in self._take_arrivals(t - 1):
+        due = self._take_arrivals(t - 1)
+        # Deliveries first: same-slot proof of life must reset a sensor's
+        # miss streak before a sibling request's miss can condemn it.
+        for req in due:
             if req.request_id in delivered_now:
                 req.mark_delivered()
                 self.schedule.delivered[req.request_id] = t - 1
                 self._undelivered -= 1
-            else:
+                self._miss_streak.pop(req.sensor, None)
+        for req in due:
+            if req.state is RequestState.IDLE:
                 self._lose(req)
         self._fill_slot(t, draw_loss=False)
         return self.schedule.group_at(t)
@@ -185,7 +242,7 @@ class OnlinePollingScheduler:
 
         A real head cannot re-poll forever (a dead sensor would stall the
         whole duty cycle); past the limit the packet is abandoned and
-        reported in ``failed``.
+        reported in ``failed`` / :attr:`OnlineResult.failed_ids`.
         """
         if self.retry_limit is not None and req.attempts >= self.retry_limit:
             req.state = RequestState.DELETED
@@ -194,6 +251,33 @@ class OnlinePollingScheduler:
         else:
             req.mark_lost()
             self._reinsert_active(req)
+        self._note_miss(req.sensor)
+
+    def _note_miss(self, sensor: int) -> None:
+        """Count a consecutive missed arrival; declare the sensor dead at K."""
+        if self.dead_after_misses is None:
+            return
+        streak = self._miss_streak.get(sensor, 0) + 1
+        self._miss_streak[sensor] = streak
+        if streak >= self.dead_after_misses and sensor not in self.blacklist:
+            self._declare_dead(sensor)
+
+    def _declare_dead(self, sensor: int) -> None:
+        """Blacklist *sensor* and abandon all its undelivered requests.
+
+        The head has watched K consecutive expected-arrival slots pass in
+        silence: continuing to re-poll would stall the duty cycle, so the
+        sensor's remaining packets are written off and the sensor reported
+        for route repair and exclusion from future cycles.
+        """
+        self.blacklist.add(sensor)
+        for req in self.pool.requests:
+            if req.sensor == sensor and req.state is not RequestState.DELETED:
+                req.state = RequestState.DELETED
+                self.failed.add(req.request_id)
+                self._undelivered -= 1
+        self._active_list = [r for r in self._active_list if r.sensor != sensor]
+        self._in_flight = [r for r in self._in_flight if r.sensor != sensor]
 
     def _reinsert_active(self, req: PollRequest) -> None:
         """Put a reactivated request back into the scan list, keeping the
@@ -214,12 +298,15 @@ class OnlinePollingScheduler:
 
     def _process_arrivals(self, t: int) -> None:
         """Resolve requests whose expected arrival slot has just completed."""
-        for req in self._take_arrivals(t - 1):
+        due = self._take_arrivals(t - 1)
+        for req in due:
             if self._attempt_ok_until[req.request_id] >= req.hop_count:
                 req.mark_delivered()
                 self.schedule.delivered[req.request_id] = t - 1
                 self._undelivered -= 1
-            else:
+                self._miss_streak.pop(req.sensor, None)
+        for req in due:
+            if req.state is RequestState.IDLE:
                 self._lose(req)
 
     def _take_arrivals(self, slot: int) -> list["PollRequest"]:

@@ -9,9 +9,20 @@ Run any figure directly::
     python -m repro.experiments.fig7b
     python -m repro.experiments.fig7c
     python -m repro.experiments.ablations
+    python -m repro.experiments.fault_ablation
 
 Submodules are intentionally *not* imported eagerly so ``python -m`` works
 without double-import warnings; import the one you need explicitly.
 """
 
-__all__ = ["common", "fig2", "fig4", "fig6", "fig7a", "fig7b", "fig7c", "ablations"]
+__all__ = [
+    "common",
+    "fig2",
+    "fig4",
+    "fig6",
+    "fig7a",
+    "fig7b",
+    "fig7c",
+    "ablations",
+    "fault_ablation",
+]

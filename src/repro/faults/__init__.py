@@ -1,0 +1,28 @@
+"""Fault injection & recovery: node deaths, bursty links, ground-truth logs.
+
+The paper's online polling algorithm is built to survive packet loss
+(Sec. III-D re-polling); this package supplies the *faults* that exercise it
+at every layer — declarative :class:`FaultPlan` descriptions, a
+Gilbert–Elliott bursty-loss process pluggable into both the abstract
+scheduler and the DES radio, and a :class:`FaultInjector` that executes a
+plan against a live PHY.  Head-side recovery (retry budgets, dead-sensor
+blacklisting, route repair) lives with the components it hardens:
+:mod:`repro.core.online`, :mod:`repro.mac.pollmac`,
+:mod:`repro.routing.repair`, and :mod:`repro.metrics.degradation`.
+"""
+
+from .gilbert import GilbertElliottLoss, LinkChainState
+from .injector import FaultEvent, FaultInjector
+from .plan import BatteryDepletion, BurstyLinks, FaultPlan, NodeCrash, TransientStun
+
+__all__ = [
+    "FaultPlan",
+    "NodeCrash",
+    "TransientStun",
+    "BatteryDepletion",
+    "BurstyLinks",
+    "GilbertElliottLoss",
+    "LinkChainState",
+    "FaultInjector",
+    "FaultEvent",
+]

@@ -1,0 +1,141 @@
+"""Gilbert–Elliott bursty link loss.
+
+The classic two-state Markov channel: a link is either GOOD or BAD; each
+step it may flip state (``p_gb`` good→bad, ``p_bg`` bad→good) and each frame
+is dropped i.i.d. at the current state's loss rate.  Unlike the repo's
+:class:`~repro.core.online.BernoulliLoss`, losses are *correlated in time* —
+a link that just dropped a frame is likely to drop the retransmission too,
+which is exactly the regime that stresses re-polling and retry budgets.
+
+One :class:`GilbertElliottLoss` instance serves both consumers:
+
+* the abstract scheduler, through the :class:`~repro.core.online.LossModel`
+  protocol (``fails(request, hop_index, slot)`` — the chain steps once per
+  schedule slot);
+* the DES PHY, through the :class:`~repro.radio.channel.RadioMedium`
+  ``link_loss`` hook (``frame_fails(receiver, sender, now)`` — the chain
+  steps once per elapsed coherence interval).
+
+Each directed link owns an independent chain whose generator is derived from
+``(seed, "faults", "link", rx, tx)`` on the dedicated fault stream, so the
+order in which links are queried cannot leak randomness between them and
+enabling the model never perturbs any other stream of a seeded run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.online import LossModel
+from ..sim.rng import fault_rng
+
+__all__ = ["GilbertElliottLoss", "LinkChainState"]
+
+_GOOD, _BAD = 0, 1
+
+
+@dataclass
+class LinkChainState:
+    """One directed link's chain: current state and step bookkeeping."""
+
+    rng: np.random.Generator
+    state: int = _GOOD
+    steps_taken: int = 0
+    last_time: float | None = None
+    frames_seen: int = 0
+    frames_lost: int = 0
+
+
+class GilbertElliottLoss(LossModel):
+    """Per-link two-state bursty loss (see module docstring).
+
+    Parameters mirror :class:`repro.faults.plan.BurstyLinks`; ``seed`` is the
+    base seed whose fault stream all link chains derive from.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float = 0.05,
+        p_bad_to_good: float = 0.30,
+        loss_good: float = 0.0,
+        loss_bad: float = 0.6,
+        coherence_s: float = 0.02,
+        seed: int = 0,
+    ):
+        for name, v in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        if coherence_s <= 0:
+            raise ValueError(f"coherence must be > 0 s, got {coherence_s}")
+        self.p_gb = float(p_good_to_bad)
+        self.p_bg = float(p_bad_to_good)
+        self.loss = (float(loss_good), float(loss_bad))
+        self.coherence_s = float(coherence_s)
+        self.seed = int(seed)
+        self._chains: dict[tuple[int, int], LinkChainState] = {}
+
+    # -- chain mechanics ----------------------------------------------------------
+
+    def _chain(self, receiver: int, sender: int) -> LinkChainState:
+        key = (int(receiver), int(sender))
+        chain = self._chains.get(key)
+        if chain is None:
+            chain = LinkChainState(rng=fault_rng(self.seed, "link", *key))
+            self._chains[key] = chain
+        return chain
+
+    def _step(self, chain: LinkChainState, n_steps: int) -> None:
+        for _ in range(n_steps):
+            flip = self.p_gb if chain.state == _GOOD else self.p_bg
+            if flip > 0.0 and chain.rng.random() < flip:
+                chain.state = _BAD if chain.state == _GOOD else _GOOD
+            chain.steps_taken += 1
+
+    def _draw_loss(self, chain: LinkChainState) -> bool:
+        chain.frames_seen += 1
+        p = self.loss[chain.state]
+        lost = p > 0.0 and bool(chain.rng.random() < p)
+        if lost:
+            chain.frames_lost += 1
+        return lost
+
+    # -- LossModel protocol (abstract scheduler) -------------------------------------
+
+    def fails(self, request, hop_index: int, slot: int) -> bool:
+        """Slot-driven use: advance the hop's link chain to *slot* and draw."""
+        receiver = request.path[hop_index + 1]
+        sender = request.path[hop_index]
+        chain = self._chain(receiver, sender)
+        # One chain step per elapsed schedule slot (monotone per link).
+        target = max(slot, chain.steps_taken)
+        self._step(chain, target - chain.steps_taken)
+        return self._draw_loss(chain)
+
+    # -- RadioMedium hook (DES decode path) ------------------------------------------
+
+    def frame_fails(self, receiver: int, sender: int, now: float) -> bool:
+        """Time-driven use: advance by elapsed coherence intervals and draw."""
+        chain = self._chain(receiver, sender)
+        if chain.last_time is None:
+            chain.last_time = now
+        elapsed = now - chain.last_time
+        steps = int(elapsed / self.coherence_s)
+        if steps > 0:
+            self._step(chain, steps)
+            chain.last_time += steps * self.coherence_s
+        return self._draw_loss(chain)
+
+    # -- introspection ----------------------------------------------------------------
+
+    def stats(self) -> dict[tuple[int, int], tuple[int, int]]:
+        """Per-link ``(frames_seen, frames_lost)`` counters."""
+        return {
+            key: (c.frames_seen, c.frames_lost) for key, c in self._chains.items()
+        }

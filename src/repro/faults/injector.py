@@ -1,0 +1,146 @@
+"""Binds a :class:`~repro.faults.plan.FaultPlan` to a running PHY stack.
+
+The injector is the only component allowed to touch simulator state on the
+plan's behalf: it schedules crash/stun events, samples energy meters for
+battery deaths, and installs the bursty-link process on the medium.  It also
+keeps the ground-truth fault log that degradation metrics compare the head's
+*inferred* blacklist against.
+
+Everything here is deterministic given ``(plan, base_seed)``: fault times are
+plan constants, battery checks run on a fixed sampling clock, and the only
+randomness (Gilbert–Elliott transitions) lives on the dedicated fault RNG
+stream — so a faulted run is exactly repeatable, and an empty plan schedules
+nothing at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mac.base import ClusterPhy
+from ..sim.kernel import Simulator
+from .gilbert import GilbertElliottLoss
+from .plan import FaultPlan
+
+__all__ = ["FaultEvent", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One entry of the ground-truth fault log."""
+
+    time: float
+    kind: str  # "crash" | "stun" | "recover" | "battery-death"
+    node: int
+
+
+class FaultInjector:
+    """Executes a fault plan against one cluster's PHY.
+
+    Parameters
+    ----------
+    sim, phy:
+        the simulator and the cluster PHY whose sensors the plan names
+        (local sensor indices ``0..n-1``).
+    plan:
+        the declarative fault description.
+    base_seed:
+        seeds the fault RNG stream (bursty links); crash/stun times come
+        straight from the plan.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        phy: ClusterPhy,
+        plan: FaultPlan,
+        base_seed: int = 0,
+    ):
+        self.sim = sim
+        self.phy = phy
+        self.plan = plan
+        self.base_seed = int(base_seed)
+        self.dead: set[int] = set()
+        self.stunned: set[int] = set()
+        self.events: list[FaultEvent] = []
+        self.link_loss: GilbertElliottLoss | None = None
+        n = phy.n_sensors
+        for fault in plan.crashes:
+            if fault.node >= n:
+                raise ValueError(f"crash names sensor {fault.node}, cluster has {n}")
+            sim.at(fault.at, self._crash, fault.node, "crash")
+        for fault in plan.stuns:
+            if fault.node >= n:
+                raise ValueError(f"stun names sensor {fault.node}, cluster has {n}")
+            sim.at(fault.at, self._stun, fault.node, fault.duration)
+        for fault in plan.batteries:
+            if fault.node >= n:
+                raise ValueError(
+                    f"battery fault names sensor {fault.node}, cluster has {n}"
+                )
+            sim.at(
+                fault.check_interval,
+                self._check_battery,
+                fault.node,
+                fault.capacity_j,
+                fault.check_interval,
+            )
+        if plan.bursty_links is not None:
+            ge = plan.bursty_links
+            self.link_loss = GilbertElliottLoss(
+                p_good_to_bad=ge.p_good_to_bad,
+                p_bad_to_good=ge.p_bad_to_good,
+                loss_good=ge.loss_good,
+                loss_bad=ge.loss_bad,
+                coherence_s=ge.coherence_s,
+                seed=self.base_seed,
+            )
+            phy.medium.link_loss = self.link_loss
+
+    # -- fault executors ----------------------------------------------------------
+
+    def _crash(self, node: int, kind: str) -> None:
+        if node in self.dead:
+            return
+        self.phy.trx(node).fail()
+        self.dead.add(node)
+        self.events.append(FaultEvent(time=self.sim.now, kind=kind, node=node))
+
+    def _stun(self, node: int, duration: float) -> None:
+        if node in self.dead:
+            return
+        self.phy.trx(node).stun(duration)
+        self.stunned.add(node)
+        self.events.append(FaultEvent(time=self.sim.now, kind="stun", node=node))
+        self.sim.schedule(duration, self._record_recovery, node)
+
+    def _record_recovery(self, node: int) -> None:
+        self.stunned.discard(node)
+        if node not in self.dead:
+            self.events.append(
+                FaultEvent(time=self.sim.now, kind="recover", node=node)
+            )
+
+    def _check_battery(self, node: int, capacity_j: float, interval: float) -> None:
+        if node in self.dead:
+            return
+        meter = self.phy.trx(node).meter
+        # Include the in-progress dwell so death can't lag a busy period.
+        pending = meter.params.power(meter.state) * (self.sim.now - meter.last_change)
+        if meter.consumed_j + pending >= capacity_j:
+            self._crash(node, "battery-death")
+            return
+        self.sim.schedule(interval, self._check_battery, node, capacity_j, interval)
+
+    # -- queries ------------------------------------------------------------------
+
+    def is_dead(self, node: int) -> bool:
+        return node in self.dead
+
+    def death_times(self) -> dict[int, float]:
+        """node -> time of permanent death (crash or battery)."""
+        return {
+            e.node: e.time
+            for e in self.events
+            if e.kind in ("crash", "battery-death")
+        }

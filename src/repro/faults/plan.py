@@ -1,0 +1,176 @@
+"""Declarative fault plans: what goes wrong, where, and when.
+
+A :class:`FaultPlan` is pure data — it names the faults a run should suffer
+without touching any simulator state.  The :mod:`repro.faults.injector` binds
+a plan to a live PHY stack; :mod:`repro.faults.gilbert` supplies the bursty
+link-loss process a plan can request.  Keeping the description separate from
+the mechanism lets experiments sweep plans declaratively and lets tests assert
+that the *empty* plan leaves a run bit-for-bit untouched.
+
+Fault taxonomy (cf. layered re-clustering under node death in LMEEC and
+duty-cycle energy-depletion dynamics):
+
+* :class:`NodeCrash` — fail-stop death of a basic sensor at a known time.
+* :class:`TransientStun` — the node goes dark for a window and then recovers
+  (brown-out, reboot, temporary obstruction).
+* :class:`BatteryDepletion` — death driven by the *existing* energy model:
+  the node dies the moment its :class:`~repro.radio.energy.EnergyMeter` has
+  burned through the given capacity.
+* :class:`BurstyLinks` — a Gilbert–Elliott loss process applied to every
+  link, replacing the i.i.d. Bernoulli abstraction with correlated fades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..topology.cluster import HEAD
+
+__all__ = [
+    "NodeCrash",
+    "TransientStun",
+    "BatteryDepletion",
+    "BurstyLinks",
+    "FaultPlan",
+]
+
+
+def _check_sensor(node: int) -> None:
+    if node == HEAD:
+        raise ValueError(
+            "the cluster head cannot be faulted (the paper's heads are "
+            "powerful, externally powered nodes; head failover is a "
+            "different subsystem)"
+        )
+    if node < 0:
+        raise ValueError(f"sensor id must be >= 0, got {node}")
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Fail-stop: sensor *node* dies at simulation time *at* and stays dead."""
+
+    node: int
+    at: float
+
+    def __post_init__(self) -> None:
+        _check_sensor(self.node)
+        if self.at < 0:
+            raise ValueError(f"crash time must be >= 0, got {self.at}")
+
+
+@dataclass(frozen=True)
+class TransientStun:
+    """Sensor *node* goes dark at *at* for *duration* seconds, then recovers.
+
+    While stunned the radio neither transmits nor receives (it looks exactly
+    like a dead node to the head); at the end of the window it wakes into
+    listening and resumes answering polls.
+    """
+
+    node: int
+    at: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        _check_sensor(self.node)
+        if self.at < 0:
+            raise ValueError(f"stun time must be >= 0, got {self.at}")
+        if self.duration <= 0:
+            raise ValueError(f"stun duration must be > 0, got {self.duration}")
+
+
+@dataclass(frozen=True)
+class BatteryDepletion:
+    """Sensor *node* dies once its energy meter has consumed *capacity_j*.
+
+    The consumption comes from the existing per-state radio energy model, so
+    chatty relays die first — the depletion dynamics the min-max-load routing
+    exists to postpone.  ``check_interval`` is how often the injector samples
+    the meter (a deterministic polling clock, not an event hook, so adding a
+    battery fault cannot reorder unrelated simulator events).
+    """
+
+    node: int
+    capacity_j: float
+    check_interval: float = 0.25
+
+    def __post_init__(self) -> None:
+        _check_sensor(self.node)
+        if self.capacity_j <= 0:
+            raise ValueError(f"capacity must be > 0 J, got {self.capacity_j}")
+        if self.check_interval <= 0:
+            raise ValueError(
+                f"check interval must be > 0 s, got {self.check_interval}"
+            )
+
+
+@dataclass(frozen=True)
+class BurstyLinks:
+    """Gilbert–Elliott bursty loss on every link (see :mod:`.gilbert`).
+
+    ``p_good_to_bad`` / ``p_bad_to_good`` are per-step transition
+    probabilities of the two-state chain; each state drops frames i.i.d. at
+    its own rate.  ``coherence_s`` is the real-time length of one chain step
+    when the model is driven from the continuous-time PHY decode path
+    (slot-driven users step the chain once per slot instead).
+    """
+
+    p_good_to_bad: float = 0.05
+    p_bad_to_good: float = 0.30
+    loss_good: float = 0.0
+    loss_bad: float = 0.6
+    coherence_s: float = 0.02
+
+    def __post_init__(self) -> None:
+        for name in ("p_good_to_bad", "p_bad_to_good", "loss_good", "loss_bad"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        if self.loss_bad >= 1.0 and self.p_bad_to_good == 0.0:
+            raise ValueError(
+                "loss_bad=1 with p_bad_to_good=0 makes links fail forever"
+            )
+        if self.coherence_s <= 0:
+            raise ValueError(f"coherence must be > 0 s, got {self.coherence_s}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full fault description of one run.
+
+    An empty plan (the default) is the contract for backward compatibility:
+    a simulation given ``FaultPlan()`` must produce results identical to one
+    given no plan at all — no RNG draws, no extra events, nothing.
+    """
+
+    crashes: tuple[NodeCrash, ...] = ()
+    stuns: tuple[TransientStun, ...] = ()
+    batteries: tuple[BatteryDepletion, ...] = ()
+    bursty_links: BurstyLinks | None = None
+
+    def __post_init__(self) -> None:
+        # Accept lists for ergonomic literals; normalize to tuples.
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "stuns", tuple(self.stuns))
+        object.__setattr__(self, "batteries", tuple(self.batteries))
+        crashed = [c.node for c in self.crashes]
+        if len(set(crashed)) != len(crashed):
+            raise ValueError(f"duplicate crash entries for nodes {crashed}")
+
+    @property
+    def is_empty(self) -> bool:
+        return (
+            not self.crashes
+            and not self.stuns
+            and not self.batteries
+            and self.bursty_links is None
+        )
+
+    def faulted_nodes(self) -> set[int]:
+        """Every sensor the plan can possibly kill or stun."""
+        return (
+            {c.node for c in self.crashes}
+            | {s.node for s in self.stuns}
+            | {b.node for b in self.batteries}
+        )

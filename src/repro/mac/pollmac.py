@@ -31,11 +31,13 @@ import numpy as np
 
 from ..core.ack import plan_ack_collection
 from ..core.online import OnlinePollingScheduler
+from ..core.requests import RequestState
 from ..core.transmissions import Transmission
 from ..interference.physical import PhysicalModelOracle
 from ..radio.packet import BROADCAST_ADDR, DEFAULT_SIZES, Frame, FrameSizes, FrameType
 from ..routing.minmax import FlowSolution, solve_min_max_load
 from ..routing.paths import RoutingPlan
+from ..routing.repair import prune_dead_nodes
 from ..routing.rotation import PathRotator
 from ..sim.kernel import Simulator
 from ..sim.process import Process, Timeout
@@ -123,6 +125,10 @@ class PollingSensorAgent:
         self.ack_buffer: dict[int, dict[int, int]] = {}
         self.cycle_quota = 0  # own packets admitted to the current cycle
         self.packets_sent = 0
+        # Blacklist propagation (head wakeup broadcasts): origins declared
+        # dead by the head; relays refuse to buffer their packets.
+        self.known_dead: set[int] = set()
+        self.packets_purged = 0
         self.trx.on_receive(self._on_frame)
 
     # -- application side ---------------------------------------------------------
@@ -151,16 +157,23 @@ class PollingSensorAgent:
         elif frame.ftype is FrameType.SLEEP:
             self._on_sleep(frame.payload)
         elif frame.ftype is FrameType.WAKEUP:
-            self._on_wakeup()
+            self._on_wakeup(frame.payload)
 
-    def _on_wakeup(self) -> None:
+    def _on_wakeup(self, payload=None) -> None:
         """Freeze this cycle's packet quota: packets generated after the
         wakeup inquiry wait for the next cycle, so the count acked to the
-        head exactly matches what the sensor will answer polls with."""
+        head exactly matches what the sensor will answer polls with.
+
+        The wakeup may carry the head's blacklist of dead sensors; relays
+        remember it and drop traffic originating from blacklisted nodes
+        (stale in-flight packets of a node declared dead mid-recovery).
+        """
         self.assigned.clear()
         self.relay_buffer.clear()
         self.ack_buffer.clear()
         self.cycle_quota = len(self.own_queue)
+        if isinstance(payload, dict) and "blacklist" in payload:
+            self.known_dead = set(payload["blacklist"])
 
     def _on_poll(self, payload) -> None:
         phase: str = payload["phase"]
@@ -216,7 +229,11 @@ class PollingSensorAgent:
     def _on_data(self, payload) -> None:
         ins: PollInstruction = payload["instruction"]
         if ins.receiver == self.sensor:
-            self.relay_buffer[ins.request_id] = payload["packet"]
+            packet = payload["packet"]
+            if packet.origin in self.known_dead:
+                self.packets_purged += 1  # don't relay for a dead origin
+                return
+            self.relay_buffer[ins.request_id] = packet
 
     def _on_ack(self, payload) -> None:
         ins: PollInstruction = payload["instruction"]
@@ -269,7 +286,19 @@ class CycleStats:
 
 
 class PollingClusterMac:
-    """The cluster head side: orchestrates duty cycles over the PHY."""
+    """The cluster head side: orchestrates duty cycles over the PHY.
+
+    With ``failure_detection`` enabled the head additionally recovers from
+    node deaths: after each cycle it cross-examines the phase outcomes —
+    nodes on any delivered path (or whose ack count arrived) are proven
+    alive; nodes implicated only in failures accumulate suspicion — and a
+    node suspect for ``dead_after_misses`` consecutive cycles is declared
+    dead.  Declaring a death blacklists the node, repairs routing around it
+    at the duty-cycle boundary (partial coverage if survivors become
+    unreachable), and propagates the blacklist in the next wakeup broadcast.
+    Detection is off by default so fault-free runs are bit-for-bit identical
+    to the pre-recovery MAC.
+    """
 
     def __init__(
         self,
@@ -284,6 +313,8 @@ class PollingClusterMac:
         use_sectors: bool = False,
         slack_factor: float = 1.5,
         cluster_id: int = 0,
+        failure_detection: bool = False,
+        dead_after_misses: int = 2,
     ):
         self.phy = phy
         self.sim = phy.sim
@@ -295,7 +326,19 @@ class PollingClusterMac:
         self.use_sectors = use_sectors
         self.slack_factor = slack_factor
         self.cluster_id = cluster_id
+        self.failure_detection = failure_detection
+        if dead_after_misses < 1:
+            raise ValueError(f"dead_after_misses must be >= 1, got {dead_after_misses}")
+        self.dead_after_misses = dead_after_misses
         self.packets_failed = 0
+        # Recovery state: the topology the head currently plans on (pruned
+        # after each repair), declared-dead sensors, survivors that lost
+        # their last route, and per-node consecutive-suspect-cycle counters.
+        self.active_cluster = phy.cluster
+        self.blacklisted: set[int] = set()
+        self.unreachable: set[int] = set()
+        self.route_repairs = 0
+        self._suspect_misses: dict[int, int] = {}
         self.oracle = phy_truth_oracle(phy, max_group_size)
         self.sensors = [
             PollingSensorAgent(phy, i, sizes, timings, cluster_id=cluster_id)
@@ -307,7 +350,7 @@ class PollingClusterMac:
         # network flow algorithm once every long time period").
         self.routing = routing or solve_min_max_load(self._planning_cluster())
         self.rotator = PathRotator(self.routing)
-        self.ack_plan = plan_ack_collection(phy.cluster, self.routing.routing_plan())
+        self.ack_plan = plan_ack_collection(self.active_cluster, self.routing.routing_plan())
         # Sector operation (Sec. IV): fixed relay trees per sector, polled in
         # turn; sensors sleep outside the ack phase and their own window.
         self.partition = None
@@ -318,6 +361,7 @@ class PollingClusterMac:
         # Per-slot reception buffers the head process reads.
         self._arrived_requests: set[int] = set()
         self._ack_counts: dict[int, int] = {}
+        self._phase_schedulers: list[tuple[str, OnlinePollingScheduler]] = []
         self._delivered_packets: list[AppPacket] = []
         self.cycle_stats: list[CycleStats] = []
         self.process: Process | None = None
@@ -326,9 +370,11 @@ class PollingClusterMac:
         """Routing uses >=1 packet per reachable sensor so each gets a path.
 
         Sensors with no multi-hop path to the head (strays at cluster
-        borders) are planned at zero packets — they cannot be served.
+        borders, survivors stranded by a repair) are planned at zero
+        packets — they cannot be served.  Planning always runs on
+        ``active_cluster``, which route repair prunes as sensors die.
         """
-        cluster = self.phy.cluster
+        cluster = self.active_cluster
         packets = np.maximum(cluster.packets, 1)
         hops = cluster.min_hop_counts()
         packets = np.where(np.isfinite(hops), packets, 0)
@@ -386,9 +432,16 @@ class PollingClusterMac:
     def _run_phase(self, phase: str, plan: RoutingPlan, payload_bytes: int):
         """Generator: drive one polling phase slot by slot over the radio.
 
-        Returns ``(slots_used, retransmissions, failed_request_count)``.
+        Returns ``(slots_used, retransmissions, scheduler)`` — the finished
+        scheduler carries the failed-request ids and per-phase blacklist the
+        recovery layer mines for evidence.
         """
-        scheduler = OnlinePollingScheduler(plan, self.oracle, retry_limit=self.retry_limit)
+        scheduler = OnlinePollingScheduler(
+            plan,
+            self.oracle,
+            retry_limit=self.retry_limit,
+            dead_after_misses=self.dead_after_misses if self.failure_detection else None,
+        )
         slot_time = self._slot_time(payload_bytes)
         self._arrived_requests = set()
         t = 0
@@ -416,7 +469,7 @@ class PollingClusterMac:
             yield Timeout(slot_time)
             t += 1
         retx = scheduler.pool.total_attempts() - len(scheduler.pool.requests)
-        return t, retx, len(scheduler.failed)
+        return t, retx, scheduler
 
     def _run_sectored(self, counts, cycle_start: float):
         """The Sec. IV data phase: sectors polled in turn, others asleep.
@@ -463,12 +516,13 @@ class PollingClusterMac:
                 continue
             if sim.now < window_starts[k]:
                 yield Timeout(window_starts[k] - sim.now)
-            slots, retx, failed = yield from self._run_phase(
+            slots, retx, sched = yield from self._run_phase(
                 "data", plan, self.sizes.data
             )
             total_slots += slots
             total_retx += retx
-            self.packets_failed += failed
+            self.packets_failed += len(sched.failed)
+            self._phase_schedulers.append(("data", sched))
             # This sector is done: straight to sleep until the next cycle.
             self._broadcast(
                 FrameType.SLEEP,
@@ -481,14 +535,104 @@ class PollingClusterMac:
             )
         return total_slots, total_retx
 
+    # -- failure detection & route repair -------------------------------------------
+    #
+    # The head never observes a death directly — it only sees polls going
+    # unanswered.  Localization works from per-cycle evidence:
+    #
+    # * proof of life: every sensor whose ack count reached the head this
+    #   cycle, and every node on a *data* path that delivered (each hop
+    #   demonstrably forwarded the actual packet).  A delivered ack proves
+    #   nothing about its upstream hops — relays merge their own count and
+    #   forward even when everything upstream stayed silent;
+    # * implication: every node on a retry-exhausted path, plus every
+    #   sensor the ack cover polled whose count never arrived (dead, or
+    #   silently starved behind a dead relay).
+    #
+    # A node implicated without proof of life is a *suspect*; suspicion must
+    # persist ``dead_after_misses`` consecutive cycles before the head
+    # declares the death (one bad cycle of collisions must not kill a node).
+    # Among ripe candidates the head declares only the minimal explanation:
+    # a candidate upstream of another candidate on a polled path is spared —
+    # the downstream death explains its silence — and gets a fresh route
+    # from the repair; its own evidence convicts or exonerates it next cycle.
+
+    def _update_failure_suspects(self) -> None:
+        alive: set[int] = set(self._ack_counts)
+        implicated: set[int] = set()
+        paths: list[tuple[int, ...]] = []
+        for phase, sched in self._phase_schedulers:
+            for req in sched.pool.requests:
+                nodes = tuple(n for n in req.path if n != HEAD)
+                paths.append(nodes)
+                if req.request_id in sched.failed:
+                    implicated.update(nodes)
+                elif phase == "data" and req.state is RequestState.DELETED:
+                    alive.update(nodes)
+        covered = {n for p in self.ack_plan.paths for n in p if n != HEAD}
+        implicated |= covered - alive
+        suspects = implicated - alive - self.blacklisted
+        self._suspect_misses = {
+            s: self._suspect_misses.get(s, 0) + 1 for s in suspects
+        }
+        candidates = {
+            s for s, c in self._suspect_misses.items() if c >= self.dead_after_misses
+        }
+        if not candidates:
+            return
+        explained = {
+            node
+            for path in paths
+            for i, node in enumerate(path)
+            if node in candidates and any(d in candidates for d in path[i + 1 :])
+        }
+        newly_dead = candidates - explained
+        if newly_dead:
+            self.blacklisted |= newly_dead
+            for s in newly_dead:
+                self._suspect_misses.pop(s, None)
+            self._repair_routing()
+
+    def _repair_routing(self) -> None:
+        """Recompute routing on the surviving topology (duty-cycle boundary).
+
+        Prunes blacklisted nodes from the planning cluster, re-solves the
+        min-max flow, rebuilds the rotation, ack cover, and (in sector
+        operation) the sector partition.  Survivors left without any path
+        are recorded in ``unreachable`` and planned at zero packets —
+        partial coverage instead of a routing failure.
+        """
+        self.active_cluster = prune_dead_nodes(self.phy.cluster, self.blacklisted)
+        hops = self.active_cluster.min_hop_counts()
+        self.unreachable = {
+            i
+            for i in range(self.active_cluster.n_sensors)
+            if i not in self.blacklisted and not np.isfinite(hops[i])
+        }
+        self.routing = solve_min_max_load(self._planning_cluster())
+        self.rotator = PathRotator(self.routing)
+        self.ack_plan = plan_ack_collection(
+            self.active_cluster, self.routing.routing_plan()
+        )
+        if self.partition is not None:
+            from ..core.sectors import partition_into_sectors
+
+            self.partition = partition_into_sectors(self.routing, oracle=self.oracle)
+        self.route_repairs += 1
+
     def _run(self, n_cycles: int):
         sim = self.sim
         for cycle in range(n_cycles):
             cycle_start = sim.now
             offered = sum(s.pending_count for s in self.sensors)
             delivered_before = self.packets_delivered
+            self._phase_schedulers = []
             # 1. wakeup broadcast (sensors are awake: they woke on schedule).
-            dur = self._broadcast(FrameType.WAKEUP, self.sizes.wakeup, {"cycle": cycle})
+            wakeup_payload: dict = {"cycle": cycle}
+            if self.blacklisted:
+                # Blacklist propagation: relays drop dead origins' packets.
+                wakeup_payload["blacklist"] = sorted(self.blacklisted)
+            dur = self._broadcast(FrameType.WAKEUP, self.sizes.wakeup, wakeup_payload)
             yield Timeout(dur + self.timings.turnaround)
             # 2. ack collection along covering paths.
             self._ack_counts = {}
@@ -497,15 +641,18 @@ class PollingClusterMac:
             for start in ack_paths:
                 ack_packets[start] = 1
             ack_plan = RoutingPlan(
-                cluster=self.phy.cluster.with_packets(ack_packets), paths=ack_paths
+                cluster=self.active_cluster.with_packets(ack_packets), paths=ack_paths
             )
-            ack_slots, _, _ = yield from self._run_phase(
+            ack_slots, _, ack_sched = yield from self._run_phase(
                 "ack", ack_plan, self.sizes.ack_report
             )
+            self._phase_schedulers.append(("ack", ack_sched))
             # 3. data polling from the reported counts.
             counts = np.zeros(self.phy.n_sensors, dtype=np.int64)
             for sensor, cnt in self._ack_counts.items():
                 counts[sensor] = cnt
+            if self.blacklisted:
+                counts[sorted(self.blacklisted)] = 0
             data_slots = 0
             retransmissions = 0
             if self.partition is not None:
@@ -521,12 +668,17 @@ class PollingClusterMac:
                 }
                 if data_paths:
                     data_plan = RoutingPlan(
-                        cluster=self.phy.cluster.with_packets(counts), paths=data_paths
+                        cluster=self.active_cluster.with_packets(counts), paths=data_paths
                     )
-                    data_slots, retransmissions, failed = yield from self._run_phase(
+                    data_slots, retransmissions, data_sched = yield from self._run_phase(
                         "data", data_plan, self.sizes.data
                     )
-                    self.packets_failed += failed
+                    self.packets_failed += len(data_sched.failed)
+                    self._phase_schedulers.append(("data", data_sched))
+            # 3b. recovery: cross-examine the cycle's evidence and repair
+            # routing around newly declared deaths at this cycle boundary.
+            if self.failure_detection:
+                self._update_failure_suspects()
             # 4. sleep broadcast.
             next_wake = max(cycle_start + self.cycle_length, sim.now + 2 * self.timings.guard)
             dur = self._broadcast(FrameType.SLEEP, self.sizes.sleep, {"wake_at": next_wake})

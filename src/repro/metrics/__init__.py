@@ -1,6 +1,7 @@
-"""Measurement layer: active time, throughput, lifetime, energy."""
+"""Measurement layer: active time, throughput, lifetime, energy, degradation."""
 
 from .activetime import ActiveTimeConfig, ActiveTimeResult, CycleRecord, simulate_active_time
+from .degradation import DegradationReport, degradation_report
 from .energy import EnergyReport, energy_report
 from .lifetime import (
     EnergyRateModel,
@@ -15,6 +16,8 @@ __all__ = [
     "ActiveTimeResult",
     "CycleRecord",
     "simulate_active_time",
+    "DegradationReport",
+    "degradation_report",
     "EnergyRateModel",
     "LifetimeResult",
     "evaluate_lifetime_ratio",

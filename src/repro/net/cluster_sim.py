@@ -13,8 +13,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
 from ..mac.base import ClusterPhy, MacTimings, build_cluster_phy
 from ..mac.pollmac import PollingClusterMac
+from ..metrics.degradation import DegradationReport, degradation_report
 from ..radio.energy import EnergyParams
 from ..radio.packet import DEFAULT_SIZES, FrameSizes
 from ..sim.kernel import Simulator
@@ -65,6 +68,12 @@ class PollingSimConfig:
     use_sectors: bool = False  # Sec. IV operation: sectors polled in turn
     energy: EnergyParams = EnergyParams()
     timings: MacTimings = MacTimings()
+    # Fault injection (None = the exact pre-fault code path, bit for bit).
+    # A non-empty plan also arms the head's failure detection; the
+    # thresholds below only matter when it is armed.
+    fault_plan: FaultPlan | None = None
+    retry_limit: int | None = 12
+    dead_after_misses: int = 2
 
 
 @dataclass
@@ -78,6 +87,13 @@ class PollingSimResult:
     packets_generated: int
     packets_delivered: int
     active_fraction: np.ndarray  # per sensor
+    injector: FaultInjector | None = None  # present when a fault plan ran
+
+    @property
+    def degradation(self) -> DegradationReport:
+        """Graceful-degradation view of the run (meaningful for faulted
+        runs; trivially perfect for fault-free ones)."""
+        return degradation_report(self.mac, self.injector)
 
     @property
     def mean_active_fraction(self) -> float:
@@ -141,12 +157,22 @@ def run_polling_simulation(
     )
     # Discover connectivity from the radio, then route on what was heard.
     phy.cluster = cluster_from_phy(geo_cluster, phy)
+    # Fault injection arms first so bursty-link loss shapes the run from
+    # t=0; an empty/absent plan schedules nothing and draws no RNG, keeping
+    # the fault-free path bit-for-bit identical.
+    injector: FaultInjector | None = None
+    faulted = config.fault_plan is not None and not config.fault_plan.is_empty
+    if faulted:
+        injector = FaultInjector(sim, phy, config.fault_plan, base_seed=config.seed)
     mac = PollingClusterMac(
         phy,
         cycle_length=config.cycle_length,
         max_group_size=config.max_group_size,
         timings=config.timings,
         use_sectors=config.use_sectors,
+        retry_limit=config.retry_limit,
+        failure_detection=faulted,
+        dead_after_misses=config.dead_after_misses,
     )
     sources = attach_cbr_sources(
         sim,
@@ -166,4 +192,5 @@ def run_polling_simulation(
         packets_generated=sum(s.generated for s in sources),
         packets_delivered=mac.packets_delivered,
         active_fraction=phy.sensor_active_fraction(),
+        injector=injector,
     )

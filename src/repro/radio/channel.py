@@ -98,6 +98,10 @@ class RadioMedium:
         self._transceivers: dict[int, "object"] = {}
         # Hooks the transceivers register to learn about medium activity.
         self._activity_listeners: list[Callable[[], None]] = []
+        # Optional per-link loss process (e.g. Gilbert–Elliott bursty fading)
+        # consulted in the decode path: anything with
+        # ``frame_fails(receiver, sender, now) -> bool``.  None = clean links.
+        self.link_loss = None
 
     # -- registration -------------------------------------------------------------
 
@@ -206,6 +210,10 @@ class RadioMedium:
             return "collision"
         if self.frame_error_rate > 0.0 and self._error_rng.random() < self.frame_error_rate:
             return "collision"  # random bit errors: audible but undecodable
+        if self.link_loss is not None and self.link_loss.frame_fails(
+            node, record.sender, self.sim.now
+        ):
+            return "collision"  # bursty fade: audible but undecodable
         return "ok"
 
     def _notify_activity(self) -> None:

@@ -47,6 +47,8 @@ class Transceiver:
         self._listening = not start_asleep
         self._listen_since = sim.now if not start_asleep else None
         self._tx_until: float | None = None
+        self.dead = False
+        self._stunned = False
         self.tx_done = Signal(f"trx{node}.tx_done")
         self._rx_callback: Callable[[Frame, float], None] | None = None
         self._garble_callback: Callable[[Frame], None] | None = None
@@ -87,8 +89,40 @@ class Transceiver:
         self._listen_since = None
         self.meter.change_state(RadioState.SLEEP, self.sim.now)
 
+    def fail(self) -> None:
+        """Fail-stop: the radio goes dark permanently (node crash).
+
+        If a transmission is in flight it finishes first — the crash takes
+        effect at frame end, matching the usual fail-stop abstraction where a
+        node never emits a *partial* frame.  After that, ``wake()`` is a
+        no-op: the node is unreachable forever.
+        """
+        self.dead = True
+        self._go_dark()
+
+    def stun(self, duration: float) -> None:
+        """Transient outage: dark for *duration* seconds, then listening again."""
+        if self.dead or self._stunned or duration <= 0:
+            return
+        self._stunned = True
+        self._go_dark()
+        self.sim.schedule(duration, self._end_stun)
+
+    def _end_stun(self) -> None:
+        self._stunned = False
+        if not self.dead and self.is_sleeping:
+            self.wake()
+
+    def _go_dark(self) -> None:
+        self._listening = False
+        self._listen_since = None
+        if not self.is_transmitting and self.meter.state is not RadioState.SLEEP:
+            self.meter.change_state(RadioState.SLEEP, self.sim.now)
+
     def wake(self) -> None:
-        """Power up into listening."""
+        """Power up into listening (no-op for dead or stunned radios)."""
+        if self.dead or self._stunned:
+            return
         if not self.is_sleeping:
             return
         self._listening = True
@@ -138,6 +172,12 @@ class Transceiver:
 
     def _tx_finished(self) -> None:
         self._tx_until = None
+        if self.dead or self._stunned:
+            # Crash/stun arrived mid-transmission: go dark now instead of
+            # returning to listening.
+            self.meter.change_state(RadioState.SLEEP, self.sim.now)
+            self.tx_done.fire(self.node)
+            return
         self._listening = True
         self._listen_since = self.sim.now
         self.meter.change_state(RadioState.IDLE, self.sim.now)

@@ -4,6 +4,7 @@ from .aodv import BROADCAST, AodvAgent, Rerr, Rrep, Rreq, RouteEntry
 from .maxflow import INF, FlowNetwork
 from .minmax import FlowSolution, RoutingInfeasible, solve_min_max_load
 from .paths import RelayingPath, RoutingPlan, validate_path
+from .repair import RepairResult, prune_dead_nodes, repair_routing
 from .rotation import PathRotator
 from .tables import (
     OneHopTables,
@@ -24,6 +25,9 @@ __all__ = [
     "RoutingPlan",
     "validate_path",
     "PathRotator",
+    "RepairResult",
+    "prune_dead_nodes",
+    "repair_routing",
     "RelayTree",
     "merge_flow_to_tree",
     "OneHopTables",

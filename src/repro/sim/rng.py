@@ -11,9 +11,18 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["RngStreams", "derive_seed"]
+__all__ = ["RngStreams", "derive_seed", "fault_rng", "FAULT_STREAM"]
 
 _MIX = 0x9E3779B97F4A7C15  # golden-ratio increment used by splitmix-style mixers
+
+FAULT_STREAM = "faults"
+"""Reserved stream name for fault injection and induced link loss.
+
+All randomness consumed by :mod:`repro.faults` (crash jitter, Gilbert–Elliott
+chain transitions, ...) must derive from this stream so that *enabling* fault
+injection never perturbs the deployment/traffic/backoff draws of an existing
+seeded run — the no-fault trajectories stay bit-for-bit identical.
+"""
 
 
 def derive_seed(base_seed: int, *names: str | int) -> int:
@@ -58,9 +67,28 @@ class RngStreams:
             self._streams[name] = gen
         return gen
 
+    def faults(self, *names: str | int) -> np.random.Generator:
+        """The dedicated fault-injection stream (see :data:`FAULT_STREAM`).
+
+        Extra *names* sub-split it (e.g. per link, per node) so query order
+        across components cannot leak randomness between them.
+        """
+        key = "/".join([FAULT_STREAM, *map(str, names)])
+        return self.get(key)
+
     def fork(self, name: str | int) -> "RngStreams":
         """A child family whose streams are independent of this family's."""
         return RngStreams(derive_seed(self.base_seed, "fork", name))
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"RngStreams(base_seed={self.base_seed}, streams={sorted(self._streams)})"
+
+
+def fault_rng(base_seed: int, *names: str | int) -> np.random.Generator:
+    """A standalone generator on the fault stream of *base_seed*.
+
+    Equivalent to ``RngStreams(base_seed).faults(*names)`` without keeping the
+    family around; used by fault models that only ever need their own stream.
+    """
+    key = "/".join([FAULT_STREAM, *map(str, names)])
+    return np.random.default_rng(derive_seed(base_seed, key))

@@ -49,6 +49,47 @@ def test_set_cover_empty_universe():
     assert greedy_weighted_set_cover(set(), [(frozenset({1}), 1.0)]) == []
 
 
+def test_set_cover_empty_universe_no_subsets():
+    assert greedy_weighted_set_cover(set(), []) == []
+
+
+def test_set_cover_single_element_subsets():
+    # Only singletons available: every one must be chosen, cheapest-first
+    # (all gains are 1, so cost/gain ordering is pure cost ordering).
+    subsets = [
+        (frozenset({0}), 3.0),
+        (frozenset({1}), 1.0),
+        (frozenset({2}), 2.0),
+    ]
+    chosen = greedy_weighted_set_cover({0, 1, 2}, subsets)
+    assert chosen == [1, 2, 0]
+
+
+def test_set_cover_tie_prefers_larger_subset():
+    # Equal cost-per-element: the bigger subset wins (fewer polls).
+    subsets = [
+        (frozenset({0}), 1.0),
+        (frozenset({0, 1}), 2.0),
+        (frozenset({0, 1, 2}), 3.0),
+    ]
+    assert greedy_weighted_set_cover({0, 1, 2}, subsets) == [2]
+
+
+def test_set_cover_exact_tie_breaks_by_input_order():
+    # Identical (cost, size): the earliest subset is chosen, so planning is
+    # reproducible run to run regardless of dict/set iteration accidents.
+    subsets = [
+        (frozenset({0, 1}), 2.0),
+        (frozenset({0, 1}), 2.0),
+        (frozenset({1, 0}), 2.0),
+    ]
+    first = greedy_weighted_set_cover({0, 1}, subsets)
+    assert first == [0]
+    assert all(
+        greedy_weighted_set_cover({0, 1}, subsets) == first for _ in range(5)
+    )
+
+
 # --- BFS fallback paths --------------------------------------------------------------
 
 def test_bfs_path_level1(fig2_cluster):

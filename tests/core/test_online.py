@@ -115,6 +115,90 @@ def test_retry_limit_abandons_packets(fig2_cluster, fig2_oracle):
         assert scheduler.pool.by_id(rid).state is RequestState.DELETED
 
 
+def test_retry_exhaustion_reported_in_result(fig2_cluster, fig2_oracle):
+    scheduler = OnlinePollingScheduler(
+        solve_min_max_load(fig2_cluster).routing_plan(),
+        fig2_oracle,
+        loss=BernoulliLoss(0.95, seed=5),
+        retry_limit=3,
+    )
+    result = scheduler.run()
+    assert result.failed_ids == frozenset(scheduler.failed)
+    assert result.n_failed == len(scheduler.failed)
+    assert result.delivered_count == len(result.pool.requests) - result.n_failed
+    assert result.delivery_ratio == pytest.approx(
+        result.delivered_count / len(result.pool.requests)
+    )
+
+
+def test_retry_limit_none_retries_forever(fig2_cluster, fig2_oracle):
+    # retry_limit=None is "retry until it arrives": heavy loss slows the
+    # run down but nothing is ever abandoned.
+    result = OnlinePollingScheduler.poll(
+        solve_min_max_load(fig2_cluster).routing_plan(),
+        fig2_oracle,
+        loss=BernoulliLoss(0.8, seed=7),
+    )
+    assert result.failed_ids == frozenset()
+    assert result.delivery_ratio == 1.0
+    assert result.pool.all_deleted()
+
+
+def test_dead_after_misses_blacklists_silent_sensor(fig2_cluster, fig2_oracle):
+    """A sensor that never answers is declared dead after K consecutive
+    missed expected arrivals; its requests land in failed_ids."""
+    plan = solve_min_max_load(fig2_cluster).routing_plan()
+    ext = OnlinePollingScheduler(plan, fig2_oracle, dead_after_misses=3)
+    dead_sensor = 1  # two-hop sensor: stays silent the whole phase
+    t = 0
+    while not ext.all_done and t < 200:
+        group = ext.external_step(t, set())  # seed arrivals below
+        delivered = {
+            tx.request_id
+            for tx in ext.schedule.group_at(t)
+            if tx.receiver == HEAD
+            and ext.pool.by_id(tx.request_id).sensor != dead_sensor
+        }
+        t += 1
+        if delivered:
+            group = ext.external_step(t, delivered)
+            t += 1
+    assert ext.all_done
+    assert dead_sensor in ext.blacklist
+    failed_sensors = {ext.pool.by_id(rid).sensor for rid in ext.failed}
+    assert failed_sensors == {dead_sensor}
+
+
+def test_dead_after_misses_validation(fig2_cluster, fig2_oracle):
+    plan = solve_min_max_load(fig2_cluster).routing_plan()
+    with pytest.raises(ValueError, match="dead_after_misses"):
+        OnlinePollingScheduler(plan, fig2_oracle, dead_after_misses=0)
+
+
+def test_delivery_resets_miss_streak(fig2_cluster, fig2_oracle):
+    """Intermittent losses below K consecutive misses never blacklist."""
+    plan = solve_min_max_load(fig2_cluster).routing_plan()
+    ext = OnlinePollingScheduler(plan, fig2_oracle, dead_after_misses=2)
+    t = 0
+    dropped: set[int] = set()
+    delivered: set[int] = set()
+    while not ext.all_done and t < 200:
+        group = ext.external_step(t, delivered)
+        delivered = set()
+        for tx in group:
+            if tx.receiver == HEAD:
+                if tx.request_id not in dropped:
+                    dropped.add(tx.request_id)  # lose first try only
+                else:
+                    delivered.add(tx.request_id)
+        t += 1
+    if delivered:
+        ext.external_step(t, delivered)
+    assert ext.all_done
+    assert ext.blacklist == set()
+    assert ext.failed == set()
+
+
 def test_external_stepping_equivalent_to_internal(fig2_cluster, fig2_oracle):
     """Driving external_step with perfect delivery mirrors run() exactly."""
     plan = solve_min_max_load(fig2_cluster).routing_plan()

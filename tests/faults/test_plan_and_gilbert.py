@@ -1,0 +1,136 @@
+"""Tests for fault plans (pure data) and the Gilbert–Elliott loss process."""
+
+import pytest
+
+from repro.core import OnlinePollingScheduler
+from repro.faults import (
+    BatteryDepletion,
+    BurstyLinks,
+    FaultPlan,
+    GilbertElliottLoss,
+    NodeCrash,
+    TransientStun,
+)
+from repro.routing import solve_min_max_load
+from repro.topology import HEAD
+
+
+# --- plans ----------------------------------------------------------------------
+
+
+def test_empty_plan_is_empty():
+    plan = FaultPlan()
+    assert plan.is_empty
+    assert plan.faulted_nodes() == set()
+
+
+def test_plan_normalizes_lists_to_tuples():
+    plan = FaultPlan(crashes=[NodeCrash(node=1, at=2.0)])
+    assert isinstance(plan.crashes, tuple)
+    assert not plan.is_empty
+    assert plan.faulted_nodes() == {1}
+
+
+def test_plan_rejects_duplicate_crashes():
+    with pytest.raises(ValueError, match="duplicate"):
+        FaultPlan(crashes=[NodeCrash(node=1, at=2.0), NodeCrash(node=1, at=5.0)])
+
+
+def test_head_cannot_be_faulted():
+    with pytest.raises(ValueError, match="head"):
+        NodeCrash(node=HEAD, at=1.0)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        lambda: NodeCrash(node=-5, at=1.0),
+        lambda: NodeCrash(node=1, at=-1.0),
+        lambda: TransientStun(node=1, at=1.0, duration=0.0),
+        lambda: BatteryDepletion(node=1, capacity_j=0.0),
+        lambda: BatteryDepletion(node=1, capacity_j=1.0, check_interval=0.0),
+        lambda: BurstyLinks(p_good_to_bad=1.5),
+        lambda: BurstyLinks(loss_bad=1.0, p_bad_to_good=0.0),
+        lambda: BurstyLinks(coherence_s=0.0),
+    ],
+)
+def test_invalid_fault_parameters_raise(bad):
+    with pytest.raises(ValueError):
+        bad()
+
+
+def test_plan_faulted_nodes_unions_all_kinds():
+    plan = FaultPlan(
+        crashes=[NodeCrash(node=1, at=1.0)],
+        stuns=[TransientStun(node=2, at=1.0, duration=1.0)],
+        batteries=[BatteryDepletion(node=3, capacity_j=0.5)],
+    )
+    assert plan.faulted_nodes() == {1, 2, 3}
+
+
+# --- Gilbert–Elliott ------------------------------------------------------------
+
+
+def test_ge_deterministic_per_seed():
+    def draws(seed):
+        ge = GilbertElliottLoss(seed=seed)
+        return [ge.frame_fails(0, 1, t * 0.01) for t in range(200)]
+
+    assert draws(4) == draws(4)
+    assert draws(4) != draws(5)
+
+
+def test_ge_chains_independent_of_query_order():
+    # Link (0,1) must see the same fate whether or not link (2,3) is
+    # queried first: per-link derived RNG, not a shared stream.
+    a = GilbertElliottLoss(seed=9)
+    b = GilbertElliottLoss(seed=9)
+    seq_a = []
+    for t in range(100):
+        a.frame_fails(2, 3, t * 0.01)  # interleaved traffic on another link
+        seq_a.append(a.frame_fails(0, 1, t * 0.01))
+    seq_b = [b.frame_fails(0, 1, t * 0.01) for t in range(100)]
+    assert seq_a == seq_b
+
+
+def test_ge_good_state_never_loses_by_default():
+    # p_gb=0 pins the chain GOOD; default loss_good=0 -> no losses ever.
+    ge = GilbertElliottLoss(p_good_to_bad=0.0, seed=0)
+    assert not any(ge.frame_fails(0, 1, t * 0.01) for t in range(500))
+
+
+def test_ge_bad_state_losses_are_bursty():
+    # Force an always-BAD chain losing every frame: losses are maximally
+    # correlated (one "burst" spanning the whole run).
+    ge = GilbertElliottLoss(
+        p_good_to_bad=1.0, p_bad_to_good=0.0, loss_good=0.0, loss_bad=1.0, seed=0
+    )
+    ge.frame_fails(0, 1, 0.0)  # first frame: still GOOD (no step yet)
+    results = [ge.frame_fails(0, 1, 0.1 + t * 0.05) for t in range(50)]
+    assert all(results)
+
+
+def test_ge_stats_count_frames_and_losses():
+    ge = GilbertElliottLoss(
+        p_good_to_bad=1.0, p_bad_to_good=0.0, loss_bad=1.0, seed=0
+    )
+    for t in range(10):
+        ge.frame_fails(0, 1, t * 0.05)
+    (seen, lost) = ge.stats()[(0, 1)]
+    assert seen == 10
+    assert lost >= 9  # everything after the first GOOD frame
+
+
+def test_ge_as_scheduler_loss_model(chain_cluster, all_compatible):
+    """Plugged into the abstract scheduler through the LossModel protocol:
+    polling still completes (re-polls absorb the bursts) and is seeded."""
+    plan = solve_min_max_load(chain_cluster).routing_plan()
+    r1 = OnlinePollingScheduler.poll(
+        plan, all_compatible, loss=GilbertElliottLoss(seed=3)
+    )
+    r2 = OnlinePollingScheduler.poll(
+        plan, all_compatible, loss=GilbertElliottLoss(seed=3)
+    )
+    assert r1.pool.all_deleted()
+    assert r1.makespan == r2.makespan
+    assert r1.total_attempts == r2.total_attempts

@@ -1,0 +1,107 @@
+"""Tests for route repair: pruning dead nodes, partial-coverage fallback."""
+
+import numpy as np
+import pytest
+
+from repro.routing import RoutingInfeasible, prune_dead_nodes, repair_routing, solve_min_max_load
+from repro.topology import HEAD, Cluster, uniform_square
+
+
+def test_prune_removes_all_hearing(chain_cluster):
+    pruned = prune_dead_nodes(chain_cluster, {1})
+    assert not pruned.hears[1].any()
+    assert not pruned.hears[:, 1].any()
+    assert not pruned.head_hears[1]
+    assert pruned.packets[1] == 0
+
+
+def test_prune_keeps_indices_and_survivors(chain_cluster):
+    pruned = prune_dead_nodes(chain_cluster, {2})
+    assert pruned.n_sensors == chain_cluster.n_sensors
+    # untouched links survive: s1 still hears s0, head still hears s0
+    assert pruned.hears[0, 1] and pruned.hears[1, 0]
+    assert pruned.head_hears[0]
+
+
+def test_prune_empty_set_returns_same_object(chain_cluster):
+    assert prune_dead_nodes(chain_cluster, set()) is chain_cluster
+
+
+def test_prune_does_not_mutate_original(chain_cluster):
+    hears_before = chain_cluster.hears.copy()
+    prune_dead_nodes(chain_cluster, {0, 1})
+    assert (chain_cluster.hears == hears_before).all()
+
+
+def test_prune_rejects_out_of_range(chain_cluster):
+    with pytest.raises(ValueError, match="out of range"):
+        prune_dead_nodes(chain_cluster, {99})
+
+
+def test_repair_reroutes_around_dead_relay():
+    # diamond: s1 can reach the head via s0 or s2; killing s0 must reroute.
+    c = Cluster.from_edges(
+        3, sensor_edges=[(0, 1), (1, 2)], head_links=[0, 2], packets=[1, 1, 1]
+    )
+    result = repair_routing(c, {0})
+    assert result.uncovered == frozenset()
+    assert result.coverage == pytest.approx(2 / 3)
+    path = result.solution.routing_plan().paths[1]
+    assert 0 not in path
+    assert path[-1] == HEAD
+
+
+def test_repair_reports_stranded_survivors(chain_cluster):
+    # chain s3-s2-s1-s0-head: killing s0 strands everyone upstream.
+    result = repair_routing(chain_cluster, {0})
+    assert result.uncovered == frozenset({1, 2, 3})
+    assert result.dead == frozenset({0})
+    assert result.coverage == 0.0
+    # graceful: no RoutingInfeasible, just an empty plan for the stranded
+    assert set(result.solution.routing_plan().paths) == set()
+
+
+def test_repair_mid_chain_cut(chain_cluster):
+    result = repair_routing(chain_cluster, {2})
+    assert result.uncovered == frozenset({3})
+    assert result.coverage == pytest.approx(2 / 4)
+    plan = result.solution.routing_plan()
+    assert set(plan.paths) == {0, 1}
+
+
+def test_repair_never_raises_infeasible():
+    # killing everything that hears the head would make plain routing raise;
+    # repair degrades to zero coverage instead.
+    c = Cluster.from_edges(
+        2, sensor_edges=[(0, 1)], head_links=[0], packets=[1, 1]
+    )
+    with pytest.raises(RoutingInfeasible):
+        solve_min_max_load(prune_dead_nodes(c, {0}))
+    result = repair_routing(c, {0})
+    assert result.uncovered == frozenset({1})
+    assert result.coverage == 0.0
+
+
+def test_repair_no_dead_equals_plain_routing():
+    dep = uniform_square(12, seed=2)
+    c = Cluster.from_deployment(dep)
+    repaired = repair_routing(c, set())
+    plain = solve_min_max_load(c)
+    assert repaired.solution.routing_plan().paths == plain.routing_plan().paths
+    assert repaired.coverage == 1.0
+
+
+def test_repair_random_clusters_cover_is_consistent():
+    for seed in range(4):
+        dep = uniform_square(14, seed=seed)
+        c = Cluster.from_deployment(dep)
+        dead = {0, 5}
+        result = repair_routing(c, dead)
+        plan = result.solution.routing_plan()
+        # no dead node appears anywhere in surviving paths
+        for path in plan.paths.values():
+            assert not dead & set(path)
+        # every covered survivor has a path; uncovered/dead have none
+        for s in range(c.n_sensors):
+            if s in dead or s in result.uncovered:
+                assert s not in plan.paths

@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.sim import RngStreams, Tracer, derive_seed
+from repro.sim.rng import FAULT_STREAM, fault_rng
 from repro.sim.units import (
     DEFAULT_NOISE_FLOOR_W,
     bytes_to_bits,
@@ -53,6 +54,43 @@ def test_derive_seed_deterministic_and_in_range(base, a, b):
 
 def test_derive_seed_order_sensitive():
     assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+
+# --- fault stream -------------------------------------------------------------
+
+
+def test_fault_stream_is_independent_of_other_streams():
+    # Draining the deployment/traffic streams must not shift the fault
+    # stream (and vice versa): adding a FaultPlan cannot perturb where
+    # sensors land or when packets arrive.
+    streams = RngStreams(42)
+    streams.get("deployment").random(1000)
+    streams.get("traffic").random(1000)
+    a = streams.faults("link", 3, 7).random(8)
+    b = RngStreams(42).faults("link", 3, 7).random(8)
+    assert (a == b).all()
+
+
+def test_fault_rng_matches_streams_faults():
+    a = fault_rng(42, "link", 3, 7).random(8)
+    b = RngStreams(42).faults("link", 3, 7).random(8)
+    assert (a == b).all()
+
+
+def test_fault_rng_distinct_per_name():
+    a = fault_rng(0, "link", 0, 1).random(8)
+    b = fault_rng(0, "link", 1, 0).random(8)
+    assert not (a == b).all()
+
+
+def test_fault_stream_does_not_collide_with_plain_stream():
+    # A user stream literally named "faults/link/0/1" is the same key by
+    # construction — document that the prefix is the namespace; distinct
+    # base names stay distinct.
+    a = fault_rng(5, "x").random(4)
+    b = RngStreams(5).get("x").random(4)
+    assert not (a == b).all()
+    assert FAULT_STREAM == "faults"
 
 
 # --- tracer -------------------------------------------------------------------

@@ -36,6 +36,13 @@ def test_hardness_gadgets_runs():
     assert "meets threshold: True" in out
 
 
+def test_fault_injection_runs():
+    out = run_example("fault_injection.py")
+    assert "killing relay" in out
+    assert "route repairs    : 1" in out
+    assert "repaired routing, and kept polling" in out
+
+
 @pytest.mark.slow
 def test_environment_monitoring_runs():
     out = run_example("environment_monitoring.py")
