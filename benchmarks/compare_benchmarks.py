@@ -1,0 +1,91 @@
+"""Compare fresh pytest-benchmark JSON against the committed baselines.
+
+Usage (what CI runs)::
+
+    python benchmarks/compare_benchmarks.py --baseline-dir . --fresh-dir fresh
+
+Matches benchmarks by fully-qualified name and fails (exit 1) when any
+fresh *median* exceeds the baseline median by more than ``--max-regression``
+(default 0.30 = +30%).  New benchmarks with no baseline are reported but
+never fail the run; a baseline benchmark missing from the fresh run does
+fail (a silently dropped bench would otherwise hide a regression forever).
+
+Caveat: absolute medians move with the host, so cross-machine comparisons
+are a coarse tripwire, not a precision instrument — the 30% slack absorbs
+runner-to-runner variance while still catching algorithmic regressions
+(which tend to be integer multiples, not percentages).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_medians(path: pathlib.Path) -> dict[str, float]:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    return {
+        bench["fullname"]: float(bench["stats"]["median"])
+        for bench in payload.get("benchmarks", [])
+    }
+
+
+def compare_file(
+    baseline: pathlib.Path, fresh: pathlib.Path, max_regression: float
+) -> list[str]:
+    """Human-readable failure strings for one baseline/fresh pair."""
+    base = load_medians(baseline)
+    new = load_medians(fresh)
+    failures: list[str] = []
+    for name, base_median in sorted(base.items()):
+        if name not in new:
+            failures.append(f"{name}: present in baseline but missing from fresh run")
+            continue
+        ratio = new[name] / base_median if base_median > 0 else float("inf")
+        verdict = "OK"
+        if ratio > 1.0 + max_regression:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: median {base_median*1e3:.3f} ms -> {new[name]*1e3:.3f} ms "
+                f"({ratio:.2f}x, limit {1.0 + max_regression:.2f}x)"
+            )
+        print(f"  {verdict:<10} {name}  x{ratio:.2f}")
+    for name in sorted(set(new) - set(base)):
+        print(f"  NEW        {name} (no baseline; recorded only)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", type=pathlib.Path, default=pathlib.Path("."))
+    parser.add_argument("--fresh-dir", type=pathlib.Path, required=True)
+    parser.add_argument("--max-regression", type=float, default=0.30)
+    args = parser.parse_args(argv)
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"no BENCH_*.json baselines under {args.baseline_dir}", file=sys.stderr)
+        return 1
+    all_failures: list[str] = []
+    for baseline in baselines:
+        fresh = args.fresh_dir / baseline.name
+        print(f"{baseline.name}:")
+        if not fresh.exists():
+            all_failures.append(f"{baseline.name}: fresh run produced no file")
+            print("  MISSING    (fresh run produced no file)")
+            continue
+        all_failures.extend(compare_file(baseline, fresh, args.max_regression))
+    if all_failures:
+        print("\nperf regressions:", file=sys.stderr)
+        for line in all_failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nall benchmarks within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

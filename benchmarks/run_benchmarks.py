@@ -1,0 +1,72 @@
+"""Emit the committed perf baselines: ``BENCH_<name>.json`` at the repo root.
+
+Runs the cheap benchmark modules (the gadget figures and the core kernels —
+the DES sweeps stay manual) through pytest-benchmark and writes one JSON
+per module::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py            # refresh baselines
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --out-dir fresh
+
+CI regenerates them into a scratch dir and fails if any benchmark's median
+regressed >30% against the committed file (see ``compare_benchmarks.py``).
+Commit the refreshed files whenever a change legitimately moves a number —
+the JSON trail is the repo's perf trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+CHEAP_BENCHES = {
+    "fig2": "test_bench_fig2.py",
+    "fig4": "test_bench_fig4.py",
+    "core_kernels": "test_bench_core_kernels.py",
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out-dir",
+        type=pathlib.Path,
+        default=REPO_ROOT,
+        help="where to write BENCH_<name>.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        choices=sorted(CHEAP_BENCHES),
+        help="subset of benches to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+
+    failures = 0
+    for name, module in CHEAP_BENCHES.items():
+        if args.only and name not in args.only:
+            continue
+        out = args.out_dir / f"BENCH_{name}.json"
+        code = pytest.main(
+            [
+                str(pathlib.Path(__file__).parent / module),
+                "-q",
+                "--benchmark-json",
+                str(out),
+            ]
+        )
+        if code != 0:
+            print(f"[run_benchmarks] {module} FAILED (exit {code})", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"[run_benchmarks] wrote {out}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,6 +4,8 @@ Not paper artifacts — these watch the hot paths the experiments lean on so
 a future change that regresses them is caught by the benchmark run.
 """
 
+import time
+
 import numpy as np
 
 from repro.core import OnlinePollingScheduler
@@ -29,11 +31,89 @@ def test_bench_maxflow_kernel(benchmark):
     assert value >= 0
 
 
+def test_bench_maxflow_kernel_dinic(benchmark):
+    rng = np.random.default_rng(0)
+    n = 60
+    g = FlowNetwork(n)
+    for _ in range(400):
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            g.add_edge(int(u), int(v), int(rng.integers(1, 10)))
+    g2 = FlowNetwork(n)  # reference value via Edmonds-Karp on a twin
+    for eid in range(0, len(g._edges), 2):
+        u, v = g.edge_endpoints(eid)
+        g2.add_edge(u, v, g._edges[eid].cap)
+    expected = g2.max_flow(0, n - 1)
+
+    def solve():
+        g.reset_flow()
+        return g.max_flow(0, n - 1, method="dinic")
+
+    assert benchmark(solve) == expected
+
+
 def test_bench_minmax_routing(benchmark):
     dep = uniform_square(40, seed=0)
     cluster = Cluster.from_deployment(dep)
     sol = benchmark(lambda: solve_min_max_load(cluster))
     assert sol.max_load >= 1
+
+
+def _energy_cluster(n: int = 60, seed: int = 0) -> Cluster:
+    dep = uniform_square(n, seed=seed)
+    cluster = Cluster.from_deployment(dep)
+    rng = np.random.default_rng(seed)
+    cluster.energy[:] = rng.uniform(0.3, 1.0, size=n)
+    return cluster
+
+
+def _best_of(fn, reps: int = 3) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_bench_minmax_energy_aware_warm_dinic(benchmark):
+    """The ISSUE-2 tentpole receipt: warm-start Dinic vs cold Edmonds-Karp.
+
+    Asserts (a) the two engines return identical solutions and (b) the
+    warm path is at least 3x faster on the energy-aware δ/λ search, then
+    records the warm path's timing in the benchmark JSON.
+    """
+    cluster = _energy_cluster()
+    cold = lambda: solve_min_max_load(
+        cluster, energy_aware=True, engine="cold", method="edmonds-karp"
+    )
+    warm = lambda: solve_min_max_load(
+        cluster, energy_aware=True, engine="warm", method="dinic"
+    )
+    sol_cold, sol_warm = cold(), warm()
+    assert sol_cold.max_load == sol_warm.max_load
+    assert (sol_cold.loads == sol_warm.loads).all()
+    assert sol_cold.flow_paths == sol_warm.flow_paths
+    assert sol_warm.stats.builds == 1
+
+    t_cold = _best_of(cold)
+    t_warm = _best_of(warm)
+    assert t_cold >= 3.0 * t_warm, (
+        f"warm-start speedup regressed: cold {t_cold*1e3:.1f} ms "
+        f"vs warm {t_warm*1e3:.1f} ms ({t_cold/t_warm:.2f}x < 3x)"
+    )
+    benchmark(warm)
+
+
+def test_bench_minmax_energy_aware_cold_ek(benchmark):
+    """The cold baseline, recorded so BENCH JSONs show both trajectories."""
+    cluster = _energy_cluster()
+    sol = benchmark(
+        lambda: solve_min_max_load(
+            cluster, energy_aware=True, engine="cold", method="edmonds-karp"
+        )
+    )
+    assert sol.max_load > 0
 
 
 def test_bench_online_scheduler_30_sensors(benchmark):

@@ -25,4 +25,5 @@ __all__ = [
     "fig7c",
     "ablations",
     "fault_ablation",
+    "runner",
 ]

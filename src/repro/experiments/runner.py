@@ -1,0 +1,261 @@
+"""Parallel, cached sweep runner for the experiment grids.
+
+Every ``repro.experiments.figX`` module exposes ``run(...) -> list[dict]``
+that loops over its parameter grid point by point, seeding each point from
+explicit config values (never from execution order).  That makes the grid
+embarrassingly parallel *and* order-independent: a trial's rows depend only
+on its keyword arguments, so fanning trials across a ``multiprocessing``
+pool and concatenating the results in grid order is bit-for-bit identical
+to the sequential loop.
+
+Three layers:
+
+* :class:`Trial` — one experiment invocation, addressed by registry name
+  (``"fig7b"``, ``"ablations:energy_aware_routing"``, or any
+  ``"pkg.module:function"``) plus JSON-serializable kwargs.
+* :func:`run_sweep` — execute trials (pool or in-process), consulting a
+  content-addressed on-disk cache keyed by ``(experiment, kwargs,
+  code-version)``; repeated sweeps are free.
+* :func:`run_figure` — split one grid parameter of a figure's ``run`` into
+  per-value trials, sweep them, and flatten the rows in grid order.
+
+Determinism contract
+--------------------
+Results are normalized to JSON-compatible values (numpy scalars unwrapped,
+tuples listified) before being returned **or** cached, so a pool run, an
+in-process run, and a cache hit all yield identical rows.  Trials must seed
+all randomness from their kwargs (the repo-wide :mod:`repro.sim.rng` named
+streams make this the path of least resistance).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import os
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = [
+    "Trial",
+    "SweepCache",
+    "code_version",
+    "resolve_experiment",
+    "run_trial",
+    "run_sweep",
+    "run_figure",
+]
+
+DEFAULT_CACHE_DIR = Path("results") / "sweep_cache"
+
+
+def resolve_experiment(experiment: str) -> Callable[..., Any]:
+    """Resolve a registry name to its callable.
+
+    ``"fig7b"`` → ``repro.experiments.fig7b.run``;
+    ``"ablations:scan_order"`` → ``repro.experiments.ablations.scan_order``;
+    a dotted module path (``"mypkg.mymod:fn"``) is imported as-is.
+    """
+    mod_name, _, fn_name = experiment.partition(":")
+    fn_name = fn_name or "run"
+    if "." not in mod_name:
+        mod_name = f"repro.experiments.{mod_name}"
+    module = importlib.import_module(mod_name)
+    fn = getattr(module, fn_name, None)
+    if fn is None or not callable(fn):
+        raise ValueError(f"experiment {experiment!r} resolves to no callable")
+    return fn
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One experiment invocation: registry name + kwargs.
+
+    Kwargs must be JSON-serializable (numbers, strings, bools, lists/tuples,
+    dicts) — they both drive the experiment and address the cache.
+    """
+
+    experiment: str
+    kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def cache_key(self, code: str | None = None) -> str:
+        """Content-addressed identity: (experiment, kwargs, code-version)."""
+        payload = {
+            "experiment": self.experiment,
+            "kwargs": _jsonify(self.kwargs),
+            "code": code if code is not None else code_version(),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _jsonify(value: Any) -> Any:
+    """Normalize to JSON-compatible python types (recursively).
+
+    numpy scalars unwrap via ``.item()``, arrays become nested lists, and
+    tuples become lists — exactly what ``json.loads(json.dumps(x))`` would
+    produce, so cached and freshly computed results are indistinguishable.
+    """
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if hasattr(value, "dtype") and getattr(value, "ndim", None) == 0:
+        return _jsonify(value.item())  # numpy scalar / 0-d array
+    if hasattr(value, "tolist"):  # numpy array
+        return _jsonify(value.tolist())
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"trial results must be JSON-compatible, got {type(value).__name__}"
+    )
+
+
+_CODE_VERSION: str | None = None
+
+
+def code_version() -> str:
+    """A fingerprint of the installed ``repro`` sources.
+
+    Cache entries embed this, so editing any module under ``src/repro``
+    invalidates every cached sweep — results can never go stale against
+    the code that produced them.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+class SweepCache:
+    """Content-addressed result store: one JSON file per trial key."""
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Any | None:
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["result"]
+
+    def put(self, key: str, trial: Trial, result: Any) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "experiment": trial.experiment,
+            "kwargs": _jsonify(trial.kwargs),
+            "code": code_version(),
+            "result": result,
+        }
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        os.replace(tmp, path)  # atomic: a crashed worker never leaves half a file
+
+
+def run_trial(trial: Trial) -> Any:
+    """Execute one trial in-process and return its normalized result.
+
+    Top-level so it pickles for pool workers.
+    """
+    fn = resolve_experiment(trial.experiment)
+    return _jsonify(fn(**trial.kwargs))
+
+
+def run_sweep(
+    trials: list[Trial],
+    processes: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+    cache: SweepCache | None = None,
+) -> list[Any]:
+    """Run *trials*, returning their results in trial order.
+
+    ``processes`` > 1 fans cache-missed trials over a ``multiprocessing``
+    pool (fork start method — workers inherit ``sys.path``); ``None`` or 1
+    runs them in-process.  Passing ``cache_dir`` (or a prebuilt ``cache``)
+    enables the on-disk result cache; hits skip execution entirely.
+    """
+    if cache is None and cache_dir is not None:
+        cache = SweepCache(cache_dir)
+
+    results: list[Any] = [None] * len(trials)
+    pending: list[tuple[int, Trial, str | None]] = []
+    if cache is not None:
+        code = code_version()
+        for idx, trial in enumerate(trials):
+            key = trial.cache_key(code)
+            hit = cache.get(key)
+            if hit is not None:
+                results[idx] = hit
+            else:
+                pending.append((idx, trial, key))
+    else:
+        pending = [(idx, trial, None) for idx, trial in enumerate(trials)]
+
+    todo = [trial for _, trial, _ in pending]
+    if processes is not None and processes > 1 and len(todo) > 1:
+        ctx = get_context("fork")
+        with ctx.Pool(processes=processes) as pool:
+            fresh = pool.map(run_trial, todo)
+    else:
+        fresh = [run_trial(trial) for trial in todo]
+
+    for (idx, trial, key), result in zip(pending, fresh):
+        results[idx] = result
+        if cache is not None and key is not None:
+            cache.put(key, trial, result)
+    return results
+
+
+def run_figure(
+    experiment: str,
+    grid_param: str,
+    grid_values: list | tuple,
+    processes: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+    cache: SweepCache | None = None,
+    **common: Any,
+) -> list[dict]:
+    """Sweep one grid parameter of a figure in parallel; flatten in grid order.
+
+    The figure's ``run`` must iterate ``grid_param`` in its outermost loop
+    with per-point seeding from kwargs (all the ``figX``/ablation runners
+    do), so ``run_figure("fig7b", "offered_loads", [a, b], seed=0)`` is
+    row-for-row identical to ``fig7b.run(offered_loads=(a, b), seed=0)``.
+    """
+    trials = [
+        Trial(experiment=experiment, kwargs={grid_param: [value], **common})
+        for value in grid_values
+    ]
+    results = run_sweep(trials, processes=processes, cache_dir=cache_dir, cache=cache)
+    rows: list[dict] = []
+    for result in results:
+        if not isinstance(result, list):
+            raise TypeError(
+                f"{experiment} returned {type(result).__name__}, expected row list"
+            )
+        rows.extend(result)
+    return rows

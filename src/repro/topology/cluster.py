@@ -65,6 +65,11 @@ class Cluster:
     positions: np.ndarray | None = None
     head_position: np.ndarray | None = None
 
+    # ``hears`` / ``head_hears`` are treated as immutable once the cluster is
+    # constructed (topology changes go through copies, e.g. ``prune_dead_nodes``),
+    # which lets connectivity queries be computed once and cached.  ``packets``
+    # and ``energy`` may be rewritten in place; nothing below depends on them.
+
     def __post_init__(self) -> None:
         self.hears = np.asarray(self.hears, dtype=bool)
         self.head_hears = np.asarray(self.head_hears, dtype=bool)
@@ -93,6 +98,10 @@ class Cluster:
                 raise ValueError(f"energy must have shape ({n},)")
             if (self.energy <= 0).any():
                 raise ValueError("energy levels must be positive")
+        # Lazy caches over the (immutable) hearing topology.
+        self._hops_cache: np.ndarray | None = None
+        self._connected_cache: bool | None = None
+        self._neighbors_cache: dict[int, list[int]] = {}
 
     # -- basic queries --------------------------------------------------------
 
@@ -119,11 +128,17 @@ class Cluster:
         return bool(self.hears[receiver, sender])
 
     def neighbors_of(self, sensor: int) -> list[int]:
-        """Nodes that can hear *sensor* (possible next hops), head included."""
-        out: list[int] = list(np.flatnonzero(self.hears[:, sensor]))
-        out = [int(x) for x in out]
+        """Nodes that can hear *sensor* (possible next hops), head included.
+
+        Cached per sensor (topology is immutable); treat as read-only.
+        """
+        cached = self._neighbors_cache.get(sensor)
+        if cached is not None:
+            return cached
+        out: list[int] = [int(x) for x in np.flatnonzero(self.hears[:, sensor])]
         if self.head_hears[sensor]:
             out.append(HEAD)
+        self._neighbors_cache[sensor] = out
         return out
 
     def first_level_sensors(self) -> list[int]:
@@ -131,19 +146,20 @@ class Cluster:
         return [int(i) for i in np.flatnonzero(self.head_hears)]
 
     def is_connected(self) -> bool:
-        """Does every sensor have some multi-hop path to the head?"""
-        n = self.n_sensors
-        reached = self.head_hears.copy()
-        frontier = reached.copy()
-        while frontier.any():
-            # j joins if some reached i hears j  <=>  hears[reached, j].any()
-            newly = self.hears[frontier, :].any(axis=0) & ~reached
-            reached |= newly
-            frontier = newly
-        return bool(reached.all()) if n else True
+        """Does every sensor have some multi-hop path to the head?  Cached."""
+        if self._connected_cache is None:
+            self._connected_cache = bool(
+                np.isfinite(self.min_hop_counts()).all()
+            ) if self.n_sensors else True
+        return self._connected_cache
 
     def min_hop_counts(self) -> np.ndarray:
-        """BFS hop count of each sensor to the head (np.inf if unreachable)."""
+        """BFS hop count of each sensor to the head (np.inf if unreachable).
+
+        Computed once and cached; the returned array is marked read-only.
+        """
+        if self._hops_cache is not None:
+            return self._hops_cache
         n = self.n_sensors
         hops = np.full(n, np.inf)
         frontier = self.head_hears.copy()
@@ -156,6 +172,8 @@ class Cluster:
             newly = audible & np.isinf(hops)
             hops[newly] = level
             frontier = newly
+        hops.flags.writeable = False
+        self._hops_cache = hops
         return hops
 
     # -- constructors ---------------------------------------------------------

@@ -10,6 +10,7 @@ the head over some multi-hop path) — disconnected draws are resampled.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -51,19 +52,40 @@ class Deployment:
     def n_sensors(self) -> int:
         return int(self.positions.shape[0])
 
+    # The O(n^2) pairwise-distance products are computed once per deployment
+    # (cached_property stores into __dict__, which frozen dataclasses allow);
+    # the arrays are shared with every caller, so treat them as read-only —
+    # Cluster documents the same immutability contract for its hearing state.
+
+    @cached_property
+    def _sensor_adjacency(self) -> np.ndarray:
+        adj = within_range_adjacency(self.positions, self.comm_range)
+        adj.flags.writeable = False
+        return adj
+
+    @cached_property
+    def _head_reachable(self) -> np.ndarray:
+        diff = self.positions - self.head_position
+        dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        reach = dist <= self.comm_range
+        reach.flags.writeable = False
+        return reach
+
     def sensor_adjacency(self) -> np.ndarray:
-        """Boolean sensor-to-sensor hearing matrix (symmetric, no self-loops)."""
-        return within_range_adjacency(self.positions, self.comm_range)
+        """Boolean sensor-to-sensor hearing matrix (symmetric, no self-loops).
+
+        Cached; the returned array is read-only.
+        """
+        return self._sensor_adjacency
 
     def head_reachable(self) -> np.ndarray:
         """Boolean vector: which sensors the head can *hear directly*.
 
         The head's own broadcasts reach everyone (its transmission power is
         large, Sec. I); this is the reverse direction, i.e. level-1 sensors.
+        Cached; the returned array is read-only.
         """
-        diff = self.positions - self.head_position
-        dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
-        return dist <= self.comm_range
+        return self._head_reachable
 
     def is_connected(self) -> bool:
         """Can every sensor reach the head over sensor-to-sensor hops?"""

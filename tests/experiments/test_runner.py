@@ -1,0 +1,146 @@
+"""Sweep runner tests: resolution, normalization, caching, determinism.
+
+The pool-equality test uses the cheap Fig. 7(c) grid (pure routing math,
+no DES) so the whole file stays in tier-1 time budget; the DES-backed
+fig7b path is covered end-to-end by ``examples/parallel_sweep.py`` and its
+smoke test.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig7c
+from repro.experiments.runner import (
+    SweepCache,
+    Trial,
+    _jsonify,
+    code_version,
+    resolve_experiment,
+    run_figure,
+    run_sweep,
+    run_trial,
+)
+
+SIZES = [8, 12]
+COMMON = dict(seeds=[0, 1])
+
+
+# ---------------------------------------------------------------- resolution
+
+
+def test_resolve_registry_name():
+    assert resolve_experiment("fig7c") is fig7c.run
+
+
+def test_resolve_module_colon_function():
+    assert resolve_experiment("fig7c:run_point") is fig7c.run_point
+    assert resolve_experiment("repro.experiments.fig7c:run") is fig7c.run
+
+
+def test_resolve_rejects_non_callable():
+    with pytest.raises(ValueError):
+        resolve_experiment("fig7c:DEFAULT_SIZES_SWEEP")
+    with pytest.raises(ModuleNotFoundError):
+        resolve_experiment("no_such_figure")
+
+
+# ------------------------------------------------------------- normalization
+
+
+def test_jsonify_matches_json_roundtrip():
+    value = {
+        "a": np.int64(3),
+        "b": np.float64(0.5),
+        "c": (1, 2, (3, 4)),
+        "d": np.arange(3),
+        "e": None,
+        "f": np.bool_(True),
+    }
+    normalized = _jsonify(value)
+    assert normalized == json.loads(json.dumps(normalized))
+    assert normalized["a"] == 3 and type(normalized["a"]) is int
+    assert normalized["c"] == [1, 2, [3, 4]]
+    assert normalized["d"] == [0, 1, 2]
+    assert normalized["f"] is True
+
+
+def test_jsonify_rejects_opaque_objects():
+    with pytest.raises(TypeError):
+        _jsonify({"net": object()})
+
+
+# ------------------------------------------------------------------ cache key
+
+
+def test_cache_key_stable_and_kwarg_sensitive():
+    a = Trial("fig7c", {"sizes": [8], "seeds": [0, 1]})
+    b = Trial("fig7c", {"seeds": [0, 1], "sizes": [8]})  # dict order irrelevant
+    c = Trial("fig7c", {"sizes": [9], "seeds": [0, 1]})
+    assert a.cache_key(code="x") == b.cache_key(code="x")
+    assert a.cache_key(code="x") != c.cache_key(code="x")
+    # tuple/list kwargs normalize identically: same grid, same key
+    d = Trial("fig7c", {"sizes": (8,), "seeds": (0, 1)})
+    assert a.cache_key(code="x") == d.cache_key(code="x")
+
+
+def test_cache_key_embeds_code_version():
+    t = Trial("fig7c", {"sizes": [8]})
+    assert t.cache_key(code="aaaa") != t.cache_key(code="bbbb")
+    assert t.cache_key() == t.cache_key(code=code_version())
+    assert len(code_version()) == 16
+
+
+# --------------------------------------------------------------- sweep cache
+
+
+def test_sweep_cache_miss_then_hit(tmp_path):
+    cache = SweepCache(tmp_path)
+    trial = Trial("fig7c", {"sizes": [8], "seeds": [0]})
+    key = trial.cache_key(code="x")
+    assert cache.get(key) is None
+    assert (cache.hits, cache.misses) == (0, 1)
+    cache.put(key, trial, [{"n_sensors": 8}])
+    assert cache.get(key) == [{"n_sensors": 8}]
+    assert (cache.hits, cache.misses) == (1, 1)
+    # corrupt file degrades to a miss, never an exception
+    path = next(tmp_path.rglob(f"{key}.json"))
+    path.write_text("{not json")
+    assert cache.get(key) is None
+
+
+def test_run_sweep_consults_cache(tmp_path):
+    cache = SweepCache(tmp_path)
+    trials = [Trial("fig7c", {"sizes": [n], "seeds": [0]}) for n in SIZES]
+    first = run_sweep(trials, cache=cache)
+    assert cache.misses == len(trials) and cache.hits == 0
+    again = run_sweep(trials, cache=cache)
+    assert cache.hits == len(trials)
+    assert again == first
+
+
+# -------------------------------------------------------------- determinism
+
+
+def test_pool_sequential_and_cache_rows_identical(tmp_path):
+    sequential = _jsonify(fig7c.run(sizes=tuple(SIZES), **COMMON))
+    pooled = run_figure("fig7c", "sizes", SIZES, processes=2, **COMMON)
+    assert pooled == sequential
+
+    cache = SweepCache(tmp_path)
+    warmup = run_figure("fig7c", "sizes", SIZES, processes=2, cache=cache, **COMMON)
+    cached = run_figure("fig7c", "sizes", SIZES, processes=2, cache=cache, **COMMON)
+    assert warmup == sequential
+    assert cached == sequential
+    assert cache.hits == len(SIZES)
+
+
+def test_run_trial_matches_direct_call():
+    trial = Trial("fig7c", {"sizes": [8], "seeds": [0]})
+    assert run_trial(trial) == _jsonify(fig7c.run(sizes=(8,), seeds=(0,)))
+
+
+def test_run_figure_rejects_non_row_results():
+    with pytest.raises(TypeError):
+        run_figure("fig7c:run_point", "n_sensors", [8], seeds=[0])

@@ -43,6 +43,13 @@ def test_fault_injection_runs():
     assert "repaired routing, and kept polling" in out
 
 
+def test_parallel_sweep_runs():
+    out = run_example("parallel_sweep.py")
+    assert "parallel rows match sequential: True" in out
+    assert "cache hit: True" in out
+    assert "pool, sequential, and cached paths all agree" in out
+
+
 @pytest.mark.slow
 def test_environment_monitoring_runs():
     out = run_example("environment_monitoring.py")
