@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from .. import validate as _validate
 from ..interference.base import CompatibilityOracle
 from ..routing.paths import RoutingPlan
 from ..sim.rng import RngStreams
@@ -203,6 +204,7 @@ class OnlinePollingScheduler:
             self._process_arrivals(t)
             self._fill_slot(t)
             t += 1
+        self.validate_invariants()
         return OnlineResult(
             schedule=self.schedule,
             pool=self.pool,
@@ -212,6 +214,22 @@ class OnlinePollingScheduler:
             failed_ids=frozenset(self.failed),
             blacklisted=frozenset(self.blacklist),
         )
+
+    def validate_invariants(self, sim_time: float | None = None, hint: str = "") -> int:
+        """Run the Sec. III-D invariant checks on the finished phase.
+
+        Packet conservation (every request delivered or explicitly written
+        off) plus the per-slot group invariants (≤ M, node-disjoint,
+        oracle-compatible) on the schedule actually produced.  Called
+        automatically at the end of :meth:`run`; the DES MAC calls it after
+        each externally-stepped phase.  Respects the process-wide
+        :mod:`repro.validate` monitor mode.
+        """
+        found = _validate.check_polling_outcome(self, sim_time=sim_time, hint=hint)
+        found += _validate.check_schedule(
+            self.schedule, self.oracle, sim_time=sim_time, hint=hint
+        )
+        return found
 
     # -- external (simulator-driven) stepping -------------------------------------
     #

@@ -26,6 +26,24 @@ tuples listified) before being returned **or** cached, so a pool run, an
 in-process run, and a cache hit all yield identical rows.  Trials must seed
 all randomness from their kwargs (the repo-wide :mod:`repro.sim.rng` named
 streams make this the path of least resistance).
+
+Self-healing execution
+----------------------
+Long randomized sweeps survive worker failure instead of losing hours of
+progress (DESIGN.md §8):
+
+* ``timeout=`` / ``retries=`` run every pending trial in its **own** worker
+  process with a per-trial deadline.  A worker that raises, hangs past its
+  deadline, or dies outright (segfault, OOM-kill) is detected, its process
+  reaped, and the trial retried after bounded exponential backoff; a trial
+  that exhausts its retries is *skipped* with a structured
+  :class:`TrialFailure` in its result slot, never poisoning its neighbours.
+* ``checkpoint=`` appends every completed trial to a JSONL journal
+  (content-addressed by the trial's cache key); ``resume=True`` reloads it
+  and re-runs only what is missing.  Because a trial's rows depend only on
+  its kwargs, a sweep killed mid-flight and resumed is **bit-for-bit**
+  identical to an uninterrupted run.  A line truncated by the kill is
+  tolerated (skipped) on load.
 """
 
 from __future__ import annotations
@@ -34,14 +52,20 @@ import hashlib
 import importlib
 import json
 import os
+import tempfile
+import time
+from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing import connection as _mp_connection
 from multiprocessing import get_context
 from pathlib import Path
 from typing import Any, Callable
 
 __all__ = [
     "Trial",
+    "TrialFailure",
     "SweepCache",
+    "SweepCheckpoint",
     "code_version",
     "resolve_experiment",
     "run_trial",
@@ -140,12 +164,23 @@ def code_version() -> str:
 
 
 class SweepCache:
-    """Content-addressed result store: one JSON file per trial key."""
+    """Content-addressed result store: one JSON file per trial key.
+
+    Writes are crash-safe: each goes to a **uniquely named** temp file in the
+    destination directory and lands via :func:`os.replace` (atomic on POSIX).
+    A shared temp name would let two pool workers computing the same key
+    interleave writes and publish a corrupt entry; a unique name means a
+    worker killed mid-write leaves only an orphaned temp file, never half a
+    cache entry.  Reads tolerate *and evict* corrupt or truncated entries
+    (from older runners or external tampering) so one bad file can never
+    poison later cache hits.
+    """
 
     def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR):
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -155,11 +190,27 @@ class SweepCache:
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
-        except (FileNotFoundError, json.JSONDecodeError):
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            self._evict(path)
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict) or "result" not in payload:
+            self._evict(path)
             self.misses += 1
             return None
         self.hits += 1
         return payload["result"]
+
+    def _evict(self, path: Path) -> None:
+        """Delete a corrupt entry so it degrades to a clean miss forever."""
+        try:
+            path.unlink()
+            self.evictions += 1
+        except OSError:  # pragma: no cover - raced with another evictor
+            pass
 
     def put(self, key: str, trial: Trial, result: Any) -> None:
         path = self._path(key)
@@ -170,10 +221,101 @@ class SweepCache:
             "code": code_version(),
             "result": result,
         }
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, sort_keys=True)
-        os.replace(tmp, path)  # atomic: a crashed worker never leaves half a file
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, path)  # atomic publish: readers see old or new, never half
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+@dataclass(frozen=True)
+class TrialFailure:
+    """Structured record of a trial that was retried and then skipped.
+
+    Placed in the failed trial's result slot so sweep output stays aligned
+    with its trial list; ``error`` is the worker-side exception (or timeout /
+    death description), ``attempts`` counts executions including retries.
+    """
+
+    experiment: str
+    kwargs: dict[str, Any]
+    error: str
+    attempts: int
+    timed_out: bool = False
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "kwargs": self.kwargs,
+            "error": self.error,
+            "attempts": self.attempts,
+            "timed_out": self.timed_out,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "TrialFailure":
+        return cls(
+            experiment=payload["experiment"],
+            kwargs=dict(payload["kwargs"]),
+            error=payload["error"],
+            attempts=int(payload["attempts"]),
+            timed_out=bool(payload.get("timed_out", False)),
+        )
+
+
+class SweepCheckpoint:
+    """Append-only JSONL journal of completed trials for crash-safe resume.
+
+    One line per completed trial: ``{"key": <cache key>, "result": ...}`` or
+    ``{"key": ..., "failure": {...}}``.  Appends are single ``write`` calls
+    flushed to disk, so a SIGKILL can truncate at most the final line —
+    :meth:`load` skips unparsable lines, sacrificing at worst one trial of
+    progress.  Keys are content-addressed (experiment, kwargs, code
+    version), so a checkpoint never resumes stale results across code edits
+    and is indifferent to trial order.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+
+    def load(self) -> dict[str, dict[str, Any]]:
+        """Map of cache key -> journal record, tolerating a truncated tail."""
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return {}
+        entries: dict[str, dict[str, Any]] = {}
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # the line the kill cut short
+            if isinstance(record, dict) and isinstance(record.get("key"), str):
+                entries[record["key"]] = record
+        return entries
+
+    def append(self, key: str, result: Any = None, failure: TrialFailure | None = None) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        record: dict[str, Any] = {"key": key}
+        if failure is not None:
+            record["failure"] = failure.as_dict()
+        else:
+            record["result"] = result
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
 
 
 def run_trial(trial: Trial) -> Any:
@@ -185,11 +327,137 @@ def run_trial(trial: Trial) -> Any:
     return _jsonify(fn(**trial.kwargs))
 
 
+def _resilient_child(conn, trial: Trial) -> None:
+    """Worker body for the self-healing executor (top-level: must pickle)."""
+    try:
+        result = run_trial(trial)
+    except BaseException as exc:  # noqa: BLE001 - report, parent decides
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+    conn.send(("ok", result))
+    conn.close()
+
+
+def _run_resilient(
+    pending: list[tuple[int, Trial]],
+    processes: int,
+    timeout: float | None,
+    retries: int,
+    backoff_base: float,
+    backoff_max: float,
+    on_complete: Callable[[int, Trial, Any], None],
+) -> dict[int, Any]:
+    """Run trials in single-trial worker processes with healing.
+
+    Each trial forks its own worker, so a crash or SIGKILL takes down one
+    attempt, not a shared pool; a hung worker is terminated at its deadline.
+    Failures are retried up to *retries* times with bounded exponential
+    backoff (``backoff_base * 2**(attempt-1)``, capped at ``backoff_max``
+    seconds), then settled as :class:`TrialFailure`.  ``on_complete`` fires
+    as each slot settles (the checkpoint/cache hook).  Returns slot ->
+    result-or-failure.
+    """
+    ctx = get_context("fork")
+    ready: deque[tuple[int, Trial, int]] = deque(
+        (slot, trial, 1) for slot, trial in pending
+    )
+    parked: list[tuple[float, int, Trial, int]] = []  # (not_before, slot, trial, attempt)
+    running: dict[Any, tuple[Any, int, Trial, int, float | None]] = {}
+    out: dict[int, Any] = {}
+    workers = max(1, processes)
+
+    def launch(slot: int, trial: Trial, attempt: int) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_resilient_child, args=(child_conn, trial), daemon=True)
+        proc.start()
+        child_conn.close()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        running[parent_conn] = (proc, slot, trial, attempt, deadline)
+
+    def settle_failure(slot: int, trial: Trial, attempt: int, error: str, timed_out: bool) -> None:
+        if attempt <= retries:
+            delay = min(backoff_max, backoff_base * (2 ** (attempt - 1)))
+            parked.append((time.monotonic() + delay, slot, trial, attempt + 1))
+            return
+        failure = TrialFailure(
+            experiment=trial.experiment,
+            kwargs=_jsonify(trial.kwargs),
+            error=error,
+            attempts=attempt,
+            timed_out=timed_out,
+        )
+        out[slot] = failure
+        on_complete(slot, trial, failure)
+
+    while ready or parked or running:
+        now = time.monotonic()
+        if parked:
+            ripe = [entry for entry in parked if entry[0] <= now]
+            if ripe:
+                parked[:] = [entry for entry in parked if entry[0] > now]
+                for _, slot, trial, attempt in sorted(ripe):
+                    ready.append((slot, trial, attempt))
+        while ready and len(running) < workers:
+            slot, trial, attempt = ready.popleft()
+            launch(slot, trial, attempt)
+        if not running:
+            if parked:
+                time.sleep(max(0.0, min(entry[0] for entry in parked) - time.monotonic()))
+            continue
+        # Wake at the earliest of: a worker speaking (or dying — EOF wakes the
+        # pipe too), the nearest deadline, the nearest parked retry.
+        wait_s = 0.5
+        deadlines = [d for (_, _, _, _, d) in running.values() if d is not None]
+        if deadlines:
+            wait_s = min(wait_s, max(0.0, min(deadlines) - now))
+        if parked:
+            wait_s = min(wait_s, max(0.0, min(e[0] for e in parked) - now))
+        spoke = _mp_connection.wait(list(running), timeout=wait_s)
+        for conn in spoke:
+            proc, slot, trial, attempt, _ = running.pop(conn)
+            try:
+                status, payload = conn.recv()
+            except (EOFError, OSError):
+                # The worker died without reporting — crash, OOM-kill, ...
+                status, payload = "died", f"worker died (exit code {proc.exitcode})"
+            conn.close()
+            proc.join()
+            if status == "ok":
+                out[slot] = payload
+                on_complete(slot, trial, payload)
+            else:
+                settle_failure(slot, trial, attempt, payload, timed_out=False)
+        now = time.monotonic()
+        for conn, (proc, slot, trial, attempt, deadline) in list(running.items()):
+            if deadline is not None and now >= deadline:
+                del running[conn]
+                proc.terminate()
+                proc.join()
+                conn.close()
+                settle_failure(
+                    slot,
+                    trial,
+                    attempt,
+                    f"timed out after {timeout}s",
+                    timed_out=True,
+                )
+    return out
+
+
 def run_sweep(
     trials: list[Trial],
     processes: int | None = None,
     cache_dir: str | os.PathLike | None = None,
     cache: SweepCache | None = None,
+    timeout: float | None = None,
+    retries: int = 0,
+    backoff_base: float = 0.5,
+    backoff_max: float = 8.0,
+    checkpoint: str | os.PathLike | SweepCheckpoint | None = None,
+    resume: bool = False,
 ) -> list[Any]:
     """Run *trials*, returning their results in trial order.
 
@@ -197,25 +465,91 @@ def run_sweep(
     pool (fork start method — workers inherit ``sys.path``); ``None`` or 1
     runs them in-process.  Passing ``cache_dir`` (or a prebuilt ``cache``)
     enables the on-disk result cache; hits skip execution entirely.
+
+    Self-healing knobs (any of which switch execution to isolated
+    single-trial worker processes — see the module docstring):
+
+    timeout:
+        per-trial wall-clock budget in seconds; a worker past it is killed
+        and the trial retried.
+    retries:
+        extra attempts per trial after a raise / hang / worker death, with
+        bounded exponential backoff; an exhausted trial settles as a
+        :class:`TrialFailure` in its result slot.
+    checkpoint:
+        path (or prebuilt :class:`SweepCheckpoint`) of the JSONL journal
+        recording each completed trial as it finishes.
+    resume:
+        reload the checkpoint and skip trials it already holds.  Results
+        depend only on trial kwargs, so a killed-and-resumed sweep is
+        bit-for-bit identical to an uninterrupted one.
     """
     if cache is None and cache_dir is not None:
         cache = SweepCache(cache_dir)
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint path")
+    journal: SweepCheckpoint | None = None
+    if checkpoint is not None:
+        journal = (
+            checkpoint
+            if isinstance(checkpoint, SweepCheckpoint)
+            else SweepCheckpoint(checkpoint)
+        )
+    resilient = timeout is not None or retries > 0 or journal is not None
 
     results: list[Any] = [None] * len(trials)
-    pending: list[tuple[int, Trial, str | None]] = []
+    need_keys = cache is not None or journal is not None
+    code = code_version() if need_keys else None
+    keys: list[str | None] = [
+        trial.cache_key(code) if need_keys else None for trial in trials
+    ]
+
+    done = [False] * len(trials)
     if cache is not None:
-        code = code_version()
-        for idx, trial in enumerate(trials):
-            key = trial.cache_key(code)
+        for idx, key in enumerate(keys):
             hit = cache.get(key)
             if hit is not None:
                 results[idx] = hit
+                done[idx] = True
+    if journal is not None and resume:
+        completed = journal.load()
+        for idx, key in enumerate(keys):
+            if done[idx] or key not in completed:
+                continue
+            record = completed[key]
+            if "failure" in record:
+                results[idx] = TrialFailure.from_dict(record["failure"])
             else:
-                pending.append((idx, trial, key))
-    else:
-        pending = [(idx, trial, None) for idx, trial in enumerate(trials)]
+                results[idx] = record["result"]
+            done[idx] = True
 
-    todo = [trial for _, trial, _ in pending]
+    pending = [(idx, trials[idx]) for idx in range(len(trials)) if not done[idx]]
+
+    if resilient:
+        def on_complete(idx: int, trial: Trial, outcome: Any) -> None:
+            if isinstance(outcome, TrialFailure):
+                if journal is not None:
+                    journal.append(keys[idx], failure=outcome)
+                return
+            if cache is not None:
+                cache.put(keys[idx], trial, outcome)
+            if journal is not None:
+                journal.append(keys[idx], result=outcome)
+
+        fresh_by_idx = _run_resilient(
+            pending,
+            processes=processes or 1,
+            timeout=timeout,
+            retries=retries,
+            backoff_base=backoff_base,
+            backoff_max=backoff_max,
+            on_complete=on_complete,
+        )
+        for idx, outcome in fresh_by_idx.items():
+            results[idx] = outcome
+        return results
+
+    todo = [trial for _, trial in pending]
     if processes is not None and processes > 1 and len(todo) > 1:
         ctx = get_context("fork")
         with ctx.Pool(processes=processes) as pool:
@@ -223,10 +557,10 @@ def run_sweep(
     else:
         fresh = [run_trial(trial) for trial in todo]
 
-    for (idx, trial, key), result in zip(pending, fresh):
+    for (idx, trial), result in zip(pending, fresh):
         results[idx] = result
-        if cache is not None and key is not None:
-            cache.put(key, trial, result)
+        if cache is not None:
+            cache.put(keys[idx], trial, result)
     return results
 
 
@@ -237,6 +571,10 @@ def run_figure(
     processes: int | None = None,
     cache_dir: str | os.PathLike | None = None,
     cache: SweepCache | None = None,
+    timeout: float | None = None,
+    retries: int = 0,
+    checkpoint: str | os.PathLike | SweepCheckpoint | None = None,
+    resume: bool = False,
     **common: Any,
 ) -> list[dict]:
     """Sweep one grid parameter of a figure in parallel; flatten in grid order.
@@ -245,14 +583,33 @@ def run_figure(
     with per-point seeding from kwargs (all the ``figX``/ablation runners
     do), so ``run_figure("fig7b", "offered_loads", [a, b], seed=0)`` is
     row-for-row identical to ``fig7b.run(offered_loads=(a, b), seed=0)``.
+
+    ``timeout``/``retries``/``checkpoint``/``resume`` pass through to
+    :func:`run_sweep`; a grid point whose trial settles as a
+    :class:`TrialFailure` raises here because a figure cannot be flattened
+    with a hole in it.
     """
     trials = [
         Trial(experiment=experiment, kwargs={grid_param: [value], **common})
         for value in grid_values
     ]
-    results = run_sweep(trials, processes=processes, cache_dir=cache_dir, cache=cache)
+    results = run_sweep(
+        trials,
+        processes=processes,
+        cache_dir=cache_dir,
+        cache=cache,
+        timeout=timeout,
+        retries=retries,
+        checkpoint=checkpoint,
+        resume=resume,
+    )
     rows: list[dict] = []
-    for result in results:
+    for value, result in zip(grid_values, results):
+        if isinstance(result, TrialFailure):
+            raise RuntimeError(
+                f"{experiment} failed at {grid_param}={value!r} after "
+                f"{result.attempts} attempt(s): {result.error}"
+            )
         if not isinstance(result, list):
             raise TypeError(
                 f"{experiment} returned {type(result).__name__}, expected row list"

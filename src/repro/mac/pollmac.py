@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import validate as _validate
 from ..core.ack import plan_ack_collection
 from ..core.online import OnlinePollingScheduler
 from ..core.requests import RequestState
@@ -221,6 +222,17 @@ class PollingSensorAgent:
         return self.relay_buffer.get(ins.request_id)
 
     def _transmit_if_possible(self, frame: Frame) -> None:
+        if self.trx.dead:
+            # A dead radio can never reach this path (fail-stop puts it to
+            # sleep); if it does, the fault plan and MAC state have diverged.
+            _validate.MONITOR.record(
+                "mac.transmit-while-dead",
+                f"sensor {self.sensor} asked to transmit {frame.ftype.name} "
+                "after fail-stop death",
+                sim_time=self.phy.sim.now,
+                nodes=(self.sensor,),
+            )
+            return
         if not self.trx.is_sleeping and not self.trx.is_transmitting:
             self.trx.transmit(frame)
             if frame.ftype is FrameType.DATA:
@@ -338,6 +350,10 @@ class PollingClusterMac:
         self.blacklisted: set[int] = set()
         self.unreachable: set[int] = set()
         self.route_repairs = 0
+        # One record per repair: which sensors each repair cut off and how
+        # many packets were pending at them at that moment, so degradation
+        # metrics can reconcile dropped demand exactly (DESIGN.md §8).
+        self.repair_log: list[dict] = []
         self._suspect_misses: dict[int, int] = {}
         self.oracle = phy_truth_oracle(phy, max_group_size)
         self.sensors = [
@@ -469,6 +485,13 @@ class PollingClusterMac:
             yield Timeout(slot_time)
             t += 1
         retx = scheduler.pool.total_attempts() - len(scheduler.pool.requests)
+        # Phase invariants on the schedule the radio actually executed:
+        # conservation of requests and the per-slot ≤M/compatibility rules.
+        scheduler.validate_invariants(
+            sim_time=self.sim.now,
+            hint=f"cluster {self.cluster_id} {phase} phase, "
+            f"{len(scheduler.pool.requests)} requests",
+        )
         return t, retx, scheduler
 
     def _run_sectored(self, counts, cycle_start: float):
@@ -600,8 +623,11 @@ class PollingClusterMac:
         min-max flow, rebuilds the rotation, ack cover, and (in sector
         operation) the sector partition.  Survivors left without any path
         are recorded in ``unreachable`` and planned at zero packets —
-        partial coverage instead of a routing failure.
+        partial coverage instead of a routing failure.  Each repair appends
+        to ``repair_log`` exactly which sensors it cut off and the packets
+        pending at them, so dropped demand reconciles packet-for-packet.
         """
+        previously_unreachable = set(self.unreachable)
         self.active_cluster = prune_dead_nodes(self.phy.cluster, self.blacklisted)
         hops = self.active_cluster.min_hop_counts()
         self.unreachable = {
@@ -609,6 +635,17 @@ class PollingClusterMac:
             for i in range(self.active_cluster.n_sensors)
             if i not in self.blacklisted and not np.isfinite(hops[i])
         }
+        self.repair_log.append(
+            {
+                "time": self.sim.now,
+                "blacklisted": sorted(self.blacklisted),
+                "unreachable": sorted(self.unreachable),
+                "newly_unreachable": sorted(self.unreachable - previously_unreachable),
+                "dropped_pending": {
+                    i: self.sensors[i].pending_count for i in sorted(self.unreachable)
+                },
+            }
+        )
         self.routing = solve_min_max_load(self._planning_cluster())
         self.rotator = PathRotator(self.routing)
         self.ack_plan = plan_ack_collection(

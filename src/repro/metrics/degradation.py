@@ -33,6 +33,13 @@ class DegradationReport:
     stranded_packets: int  # packets stuck inside dead nodes' buffers
     purged_packets: int  # dead-origin packets relays refused to carry
     route_repairs: int  # times the head re-solved routing mid-run
+    undeliverable_pending: int = 0  # packets queued at unreachable survivors
+    """Packets sitting at live-but-routeless sensors when the run ended —
+    the demand route repair explicitly planned away (per-sensor detail in
+    ``mac.repair_log``).  Together with ``stranded_packets`` this closes the
+    conservation ledger: every generated packet is delivered, failed,
+    stranded in a dead node, undeliverable at a cut-off survivor, or still
+    queued awaiting its next polling opportunity."""
 
     @property
     def delivery_ratio(self) -> float:
@@ -80,10 +87,13 @@ def degradation_report(
     counting_dead = dead_true if injector is not None else frozenset(mac.blacklisted)
     stranded = 0
     purged = 0
+    undeliverable = 0
     for agent in mac.sensors:
         purged += agent.packets_purged
         if agent.sensor in counting_dead:
             stranded += len(agent.own_queue) + len(agent.relay_buffer)
+        elif agent.sensor in mac.unreachable:
+            undeliverable += len(agent.own_queue) + len(agent.relay_buffer)
     return DegradationReport(
         n_sensors=mac.phy.n_sensors,
         delivered=mac.packets_delivered,
@@ -94,4 +104,5 @@ def degradation_report(
         stranded_packets=stranded,
         purged_packets=purged,
         route_repairs=mac.route_repairs,
+        undeliverable_pending=undeliverable,
     )

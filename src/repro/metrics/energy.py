@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import validate as _validate
 from ..mac.base import ClusterPhy
 from ..radio.energy import RadioState
 
@@ -70,7 +71,7 @@ def energy_report(phy: ClusterPhy) -> EnergyReport:
         sleep[i] = meter.dwell_s[RadioState.SLEEP]
         tx[i] = meter.dwell_s[RadioState.TX]
         rx[i] = meter.dwell_s[RadioState.RX]
-    return EnergyReport(
+    report = EnergyReport(
         consumed_j=consumed,
         active_s=active,
         sleep_s=sleep,
@@ -78,3 +79,10 @@ def energy_report(phy: ClusterPhy) -> EnergyReport:
         rx_s=rx,
         head_consumed_j=phy.transceivers[phy.head_index].meter.consumed_j,
     )
+    # Monotone-drain / non-negative-residual invariants (DESIGN.md §8).
+    # Dwell sums are only compared against the clock once meters have been
+    # finalized to sim.now; over-accounting is a bug at any point.
+    _validate.check_energy_report(
+        report, elapsed=phy.sim.now, hint=f"energy_report(n={n}, t={phy.sim.now:.3f})"
+    )
+    return report

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import validate as _validate
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
 from ..mac.base import ClusterPhy, MacTimings, build_cluster_phy
@@ -88,6 +89,10 @@ class PollingSimResult:
     packets_delivered: int
     active_fraction: np.ndarray  # per sensor
     injector: FaultInjector | None = None  # present when a fault plan ran
+    violations: list[_validate.InvariantViolation] = field(default_factory=list)
+    """Invariant violations the runtime monitor recorded during this run
+    (always empty for a healthy run; populated in ``warn`` mode — ``strict``
+    raises instead, see :mod:`repro.validate`)."""
 
     @property
     def degradation(self) -> DegradationReport:
@@ -138,6 +143,8 @@ def run_polling_simulation(
     deployment: Deployment | None = None,
 ) -> PollingSimResult:
     """Run the full DES polling stack and collect the paper's metrics."""
+    monitor = _validate.MONITOR
+    mark = monitor.mark()
     sim = Simulator()
     dep = deployment or uniform_square(
         config.n_sensors,
@@ -184,13 +191,35 @@ def run_polling_simulation(
     mac.start(config.n_cycles)
     sim.run(until=config.n_cycles * config.cycle_length)
     phy.finalize()
+    packets_generated = sum(s.generated for s in sources)
+    if monitor.enabled:
+        hint = (
+            f"PollingSimConfig(seed={config.seed}, n_sensors={config.n_sensors}, "
+            f"n_cycles={config.n_cycles}, faults={'yes' if faulted else 'no'})"
+        )
+        # End-to-end conservation at the head: the delivered application
+        # stream is duplicate-free and never exceeds what sensors generated.
+        _validate.check_delivered_stream(
+            ((p.origin, p.seq) for p in mac.delivered_packets()),
+            sim_time=sim.now,
+            hint=hint,
+        )
+        if mac.packets_delivered > packets_generated:
+            monitor.record(
+                "mac.delivery-conservation",
+                f"head collected {mac.packets_delivered} packets but sensors "
+                f"only generated {packets_generated}",
+                sim_time=sim.now,
+                hint=hint,
+            )
     return PollingSimResult(
         config=config,
         phy=phy,
         mac=mac,
         elapsed=sim.now,
-        packets_generated=sum(s.generated for s in sources),
+        packets_generated=packets_generated,
         packets_delivered=mac.packets_delivered,
         active_fraction=phy.sensor_active_fraction(),
         injector=injector,
+        violations=monitor.since(mark),
     )

@@ -125,6 +125,18 @@ class FlowNetwork:
         u = self._edges[edge_id ^ 1].to
         return u, v
 
+    @property
+    def edge_count(self) -> int:
+        """Total residual-edge entries (forward edges are the even half).
+
+        The invariant monitor walks ``range(0, edge_count, 2)`` to audit
+        capacity respect and per-node conservation of a solved flow.
+        """
+        return len(self._edges)
+
+    def edge_capacity(self, edge_id: int) -> int:
+        return self._edges[edge_id].cap
+
     # -- flow state -----------------------------------------------------------
 
     def flow_value(self, source: int) -> int:

@@ -66,6 +66,16 @@ class RepairResult:
     solution: FlowSolution  # fresh min-max flow over the survivors
     dead: frozenset[int]  # nodes excluded as failed
     uncovered: frozenset[int]  # live sensors left with no path to the head
+    dropped_demand: dict[int, int]  # uncovered sensor -> packets zeroed for it
+    """Exactly which packets the partial-coverage fallback planned away,
+    per uncovered sensor.  Every uncovered sensor appears (possibly at 0),
+    so degradation metrics and the packet-conservation invariant reconcile
+    packet-for-packet: demand in == demand routed + sum(dropped_demand)."""
+
+    @property
+    def dropped_packets(self) -> int:
+        """Total demand the repair could not serve."""
+        return sum(self.dropped_demand.values())
 
     @property
     def coverage(self) -> float:
@@ -100,6 +110,7 @@ def repair_routing(
         for i in range(pruned.n_sensors)
         if i not in dead and not np.isfinite(hops[i])
     )
+    dropped_demand = {i: int(pruned.packets[i]) for i in sorted(uncovered)}
     if uncovered:
         packets = pruned.packets.copy()
         packets[sorted(uncovered)] = 0
@@ -112,4 +123,5 @@ def repair_routing(
         solution=solution,
         dead=frozenset(dead),
         uncovered=uncovered,
+        dropped_demand=dropped_demand,
     )

@@ -21,6 +21,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Iterator
 
+from .. import validate as _validate
+
 __all__ = ["Simulator", "EventHandle", "SimulationError"]
 
 
@@ -121,6 +123,14 @@ class Simulator:
     def at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule *callback(*args)* at absolute simulation *time*."""
         if time < self._now:
+            # Log to the invariant monitor (raise_strict=False: the kernel's
+            # own error below is the strict behaviour and tests pin its type).
+            _validate.MONITOR.record(
+                "kernel.schedule-past",
+                f"event scheduled at t={time} before current time t={self._now}",
+                sim_time=self._now,
+                raise_strict=False,
+            )
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
@@ -155,6 +165,13 @@ class Simulator:
                 if until is not None and time > until:
                     break
                 heapq.heappop(self._heap)
+                if time < self._now:  # heap order is the clock's monotonicity
+                    _validate.MONITOR.record(
+                        "kernel.time-monotone",
+                        f"event at t={time} fired after the clock reached "
+                        f"t={self._now}",
+                        sim_time=self._now,
+                    )
                 self._now = time
                 handle._fired = True
                 handle.callback(*handle.args)
@@ -170,6 +187,12 @@ class Simulator:
         if not self._heap:
             return False
         time, _, handle = heapq.heappop(self._heap)
+        if time < self._now:
+            _validate.MONITOR.record(
+                "kernel.time-monotone",
+                f"event at t={time} fired after the clock reached t={self._now}",
+                sim_time=self._now,
+            )
         self._now = time
         handle._fired = True
         handle.callback(*handle.args)

@@ -50,6 +50,13 @@ def test_parallel_sweep_runs():
     assert "pool, sequential, and cached paths all agree" in out
 
 
+def test_resilient_sweep_runs():
+    out = run_example("resilient_sweep.py")
+    assert "TrialFailure after 2 attempts" in out
+    assert "resumed rows match uninterrupted run: True" in out
+    assert "no progress lost" in out
+
+
 @pytest.mark.slow
 def test_environment_monitoring_runs():
     out = run_example("environment_monitoring.py")

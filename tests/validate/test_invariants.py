@@ -1,0 +1,416 @@
+"""Chaos and mutation tests for the runtime invariant monitor.
+
+Two complementary directions (DESIGN.md §8):
+
+* **Chaos**: random fault plans through the full DES stack in ``strict``
+  mode must produce *zero* violations — fault recovery is allowed to lose
+  packets, never to break conservation, scheduling, or energy accounting.
+* **Mutation**: deliberately corrupt each checked artifact (schedules,
+  polling outcomes, flow solutions, energy reports, the kernel clock) and
+  assert the matching invariant class fires.  This is what keeps the checks
+  themselves honest — a checker nothing can trip is dead code.
+"""
+
+import warnings
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import validate
+from repro.core import OnlinePollingScheduler
+from repro.core.schedule import PollingSchedule
+from repro.core.transmissions import Transmission
+from repro.faults.plan import BurstyLinks, FaultPlan, NodeCrash, TransientStun
+from repro.mac.base import geometric_oracle
+from repro.metrics.energy import EnergyReport
+from repro.net.cluster_sim import PollingSimConfig, run_polling_simulation
+from repro.radio.packet import Frame, FrameType
+from repro.routing import solve_min_max_load
+from repro.routing.maxflow import FlowNetwork
+from repro.sim import SimulationError, Simulator
+from repro.topology import HEAD, Cluster, uniform_square
+from repro.validate import (
+    InvariantError,
+    InvariantMonitor,
+    InvariantWarning,
+)
+
+
+@contextmanager
+def quiet():
+    """Silence InvariantWarning noise while mutation tests trip checks."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", InvariantWarning)
+        yield
+
+
+def fired(monitor: InvariantMonitor, invariant: str) -> list:
+    return [v for v in monitor.violations if v.invariant == invariant]
+
+
+# ------------------------------------------------------------------- monitor
+
+
+def test_modes_are_validated():
+    with pytest.raises(ValueError, match="mode"):
+        InvariantMonitor(mode="chatty")
+    mon = InvariantMonitor(mode="warn")
+    with pytest.raises(ValueError, match="mode"):
+        mon.mode = "loud"
+
+
+def test_off_mode_records_nothing():
+    mon = InvariantMonitor(mode="off")
+    assert mon.record("test.x", "ignored") is None
+    assert mon.violations == []
+    assert not mon.enabled
+
+
+def test_warn_mode_records_and_warns():
+    mon = InvariantMonitor(mode="warn")
+    with pytest.warns(InvariantWarning, match="test.x"):
+        v = mon.record("test.x", "boom", sim_time=1.5, nodes=(3,), hint="seed=7")
+    assert v is not None and mon.violations == [v]
+    assert "t=1.5" in str(v) and "seed=7" in str(v)
+
+
+def test_strict_mode_raises_with_violation_attached():
+    mon = InvariantMonitor(mode="strict")
+    with pytest.raises(InvariantError) as excinfo:
+        mon.record("test.x", "boom")
+    assert excinfo.value.violation.invariant == "test.x"
+    assert mon.violations  # recorded before raising
+
+
+def test_scoped_modes_nest_and_restore():
+    mon = InvariantMonitor(mode="warn")
+    with mon.at_mode("off"):
+        assert not mon.enabled
+        with mon.at_mode("strict"):
+            assert mon.mode == "strict"
+        assert mon.mode == "off"
+    assert mon.mode == "warn"
+
+
+# ------------------------------------------------------ chaos (property-based)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(0, 1_000),
+    crash=st.one_of(
+        st.none(),
+        st.tuples(
+            st.integers(0, 9), st.floats(2.0, 25.0, allow_nan=False)
+        ),
+    ),
+    stun=st.one_of(
+        st.none(),
+        st.tuples(
+            st.integers(0, 9),
+            st.floats(1.0, 20.0, allow_nan=False),
+            st.floats(0.5, 8.0, allow_nan=False),
+        ),
+    ),
+    bursty=st.booleans(),
+)
+def test_chaos_random_fault_plans_pass_strict(seed, crash, stun, bursty):
+    """Any random fault plan, run end to end in strict mode: the stack may
+    lose packets but must never violate an invariant."""
+    plan = FaultPlan(
+        crashes=[NodeCrash(node=crash[0], at=crash[1])] if crash else [],
+        stuns=[TransientStun(node=stun[0], at=stun[1], duration=stun[2])]
+        if stun
+        else [],
+        bursty_links=BurstyLinks() if bursty else None,
+    )
+    config = PollingSimConfig(n_sensors=10, n_cycles=3, seed=seed, fault_plan=plan)
+    with validate.strict():
+        result = run_polling_simulation(config)  # raises InvariantError on breach
+    assert result.violations == []
+
+
+def test_fault_free_run_is_clean_in_strict_mode():
+    with validate.strict():
+        result = run_polling_simulation(PollingSimConfig(n_sensors=12, n_cycles=2))
+    assert result.violations == []
+
+
+# ------------------------------------------------- mutation: schedule checks
+
+
+class _NothingCompatible:
+    max_group_size = 2
+
+    def compatible(self, links):
+        return len(links) <= 1
+
+
+def test_mutated_schedule_group_size_fires():
+    oracle = _NothingCompatible()
+    sched = PollingSchedule()
+    for i, req in enumerate([(0, 1), (2, 3), (4, 5)]):
+        sched.add(0, Transmission(sender=req[0], receiver=req[1], request_id=i, hop_index=0))
+    mon = InvariantMonitor(mode="warn")
+    with quiet():
+        assert validate.check_schedule(sched, oracle, monitor=mon) > 0
+    assert fired(mon, "schedule.group-size")
+
+
+def test_mutated_schedule_node_reuse_fires():
+    oracle = _NothingCompatible()
+    sched = PollingSchedule()
+    sched.add(0, Transmission(sender=0, receiver=1, request_id=0, hop_index=0))
+    sched.add(0, Transmission(sender=1, receiver=2, request_id=1, hop_index=0))
+    mon = InvariantMonitor(mode="warn")
+    with quiet():
+        validate.check_schedule(sched, oracle, monitor=mon)
+    assert fired(mon, "schedule.node-reuse")
+
+
+def test_mutated_schedule_incompatible_group_fires():
+    oracle = _NothingCompatible()  # rejects any 2-group -> disjoint pair trips it
+    sched = PollingSchedule()
+    sched.add(0, Transmission(sender=0, receiver=HEAD, request_id=0, hop_index=0))
+    sched.add(0, Transmission(sender=2, receiver=1, request_id=1, hop_index=0))
+    mon = InvariantMonitor(mode="warn")
+    with quiet():
+        validate.check_schedule(sched, oracle, monitor=mon)
+    assert fired(mon, "schedule.incompatible-group")
+    assert not fired(mon, "schedule.node-reuse")
+
+
+def test_healthy_schedule_is_silent():
+    scheduler = _run_small_polling()
+    mon = InvariantMonitor(mode="warn")
+    assert validate.check_schedule(scheduler.schedule, scheduler.oracle, monitor=mon) == 0
+    assert mon.violations == []
+
+
+# ------------------------------------------ mutation: polling conservation
+
+
+def _run_small_polling() -> OnlinePollingScheduler:
+    dep = uniform_square(8, seed=0)
+    cluster = Cluster.from_deployment(dep)
+    oracle, cluster = geometric_oracle(cluster)
+    plan = solve_min_max_load(cluster).routing_plan()
+    scheduler = OnlinePollingScheduler(plan, oracle)
+    scheduler.run()
+    return scheduler
+
+
+def test_dropped_delivery_fires_conservation():
+    scheduler = _run_small_polling()
+    assert scheduler.schedule.delivered  # sanity: something to corrupt
+    scheduler.schedule.delivered.pop(next(iter(scheduler.schedule.delivered)))
+    mon = InvariantMonitor(mode="warn")
+    with quiet():
+        assert validate.check_polling_outcome(scheduler, monitor=mon) > 0
+    assert fired(mon, "polling.conservation")
+
+
+def test_double_accounting_fires():
+    scheduler = _run_small_polling()
+    some_id = next(iter(scheduler.schedule.delivered))
+    scheduler.failed.add(some_id)
+    mon = InvariantMonitor(mode="warn")
+    with quiet():
+        validate.check_polling_outcome(scheduler, monitor=mon)
+    assert fired(mon, "polling.double-account")
+
+
+def test_phantom_request_fires_conservation():
+    scheduler = _run_small_polling()
+    scheduler.schedule.delivered[99_999] = 0
+    mon = InvariantMonitor(mode="warn")
+    with quiet():
+        validate.check_polling_outcome(scheduler, monitor=mon)
+    assert fired(mon, "polling.conservation")
+
+
+def test_blacklisted_with_pending_requests_fires():
+    scheduler = _run_small_polling()
+    req = next(iter(scheduler.pool.requests))
+    scheduler.schedule.delivered.pop(req.request_id, None)
+    scheduler.failed.discard(req.request_id)
+    scheduler.blacklist.add(req.sensor)
+    mon = InvariantMonitor(mode="warn")
+    with quiet():
+        validate.check_polling_outcome(scheduler, monitor=mon)
+    assert any(
+        "blacklisted" in v.message for v in fired(mon, "polling.conservation")
+    )
+
+
+# ----------------------------------------------- mutation: flow invariants
+
+
+def _solved(seed: int = 2):
+    dep = uniform_square(10, seed=seed)
+    rng = np.random.default_rng(seed)
+    cluster = Cluster.from_deployment(dep).with_packets(rng.integers(1, 4, size=10))
+    return cluster, solve_min_max_load(cluster)
+
+
+def test_tampered_flow_units_fire_conservation():
+    cluster, sol = _solved()
+    sensor, bundles = next((s, b) for s, b in sol.flow_paths.items() if b)
+    path, units = bundles[0]
+    bundles[0] = (path, units + 1)
+    mon = InvariantMonitor(mode="warn")
+    with quiet():
+        assert validate.check_flow_solution(cluster, sol, monitor=mon) > 0
+    assert fired(mon, "flow.conservation")
+
+
+def test_reversed_path_fires_path_invalid():
+    cluster, sol = _solved()
+    sensor, bundles = next((s, b) for s, b in sol.flow_paths.items() if b)
+    path, units = bundles[0]
+    bundles[0] = (tuple(reversed(path)), units)
+    mon = InvariantMonitor(mode="warn")
+    with quiet():
+        validate.check_flow_solution(cluster, sol, monitor=mon)
+    assert fired(mon, "flow.path-invalid")
+
+
+def test_tampered_loads_fire_load_mismatch():
+    cluster, sol = _solved()
+    k = int(np.argmax(sol.loads))
+    sol.loads[k] += 1
+    mon = InvariantMonitor(mode="warn")
+    with quiet():
+        validate.check_flow_solution(cluster, sol, monitor=mon)
+    assert fired(mon, "flow.load-mismatch")
+
+
+def test_tampered_capacity_fires_capacity():
+    cluster, sol = _solved()
+    k = int(np.argmax(sol.loads))
+    assert sol.loads[k] > 0
+    sol.capacities[k] = int(sol.loads[k]) - 1
+    mon = InvariantMonitor(mode="warn")
+    with quiet():
+        validate.check_flow_solution(cluster, sol, monitor=mon)
+    assert fired(mon, "flow.capacity")
+
+
+def test_depleted_routed_sensor_fires_energy():
+    cluster, sol = _solved()
+    k = int(np.argmax(sol.loads))
+    cluster.energy[k] = 0.0
+    mon = InvariantMonitor(mode="warn")
+    with quiet():
+        validate.check_flow_solution(cluster, sol, monitor=mon)
+    assert fired(mon, "flow.energy")
+
+
+def test_corrupted_network_flow_fires_capacity_and_conservation():
+    net = FlowNetwork(4)
+    e0 = net.add_edge(0, 2, 5)
+    net.add_edge(2, 3, 5)
+    net.add_edge(3, 1, 5)
+    assert net.max_flow(0, 1) == 5
+    mon = InvariantMonitor(mode="warn")
+    assert validate.check_network_flow(net, 0, 1, monitor=mon) == 0
+    net._edges[e0].flow += 1  # mutation: over-capacity + imbalance at node 2
+    with quiet():
+        assert validate.check_network_flow(net, 0, 1, monitor=mon) == 2
+    assert fired(mon, "flow.capacity")
+    assert fired(mon, "flow.conservation")
+
+
+# ----------------------------------------------- mutation: energy invariants
+
+
+def _report(**overrides) -> EnergyReport:
+    base = dict(
+        consumed_j=np.array([1.0, 2.0]),
+        active_s=np.array([3.0, 4.0]),
+        sleep_s=np.array([7.0, 6.0]),
+        tx_s=np.array([0.5, 0.5]),
+        rx_s=np.array([0.5, 0.5]),
+        head_consumed_j=0.1,
+    )
+    base.update(overrides)
+    return EnergyReport(**base)
+
+
+def test_negative_consumption_fires():
+    mon = InvariantMonitor(mode="warn")
+    with quiet():
+        validate.check_energy_report(
+            _report(consumed_j=np.array([1.0, -0.25])), elapsed=10.0, monitor=mon
+        )
+    assert fired(mon, "energy.negative")
+    assert fired(mon, "energy.negative")[0].nodes == (1,)
+
+
+def test_overaccounted_dwell_fires():
+    mon = InvariantMonitor(mode="warn")
+    with quiet():
+        validate.check_energy_report(
+            _report(active_s=np.array([8.0, 4.0]), sleep_s=np.array([5.0, 6.0])),
+            elapsed=10.0,
+            monitor=mon,
+        )
+    assert fired(mon, "energy.accounting")
+
+
+def test_healthy_energy_report_is_silent():
+    mon = InvariantMonitor(mode="warn")
+    assert validate.check_energy_report(_report(), elapsed=10.0, monitor=mon) == 0
+
+
+# ---------------------------------------------- mutation: kernel + MAC wiring
+
+
+def test_scheduling_in_the_past_records_and_raises_native_error():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with validate.warn(), quiet():
+        mark = validate.MONITOR.mark()
+        with pytest.raises(SimulationError):
+            sim.at(0.5, lambda: None)
+    assert any(
+        v.invariant == "kernel.schedule-past" for v in validate.MONITOR.since(mark)
+    )
+
+
+def test_tampered_clock_fires_time_monotone():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim._now = 2.0  # mutation: clock jumped ahead of the pending event
+    with validate.warn(), quiet():
+        mark = validate.MONITOR.mark()
+        sim.run()
+    assert any(
+        v.invariant == "kernel.time-monotone" for v in validate.MONITOR.since(mark)
+    )
+
+
+def test_transmit_while_dead_fires():
+    with validate.off():
+        result = run_polling_simulation(PollingSimConfig(n_sensors=6, n_cycles=1))
+    agent = result.mac.sensors[0]
+    agent.trx.dead = True  # mutation: kill the radio behind the MAC's back
+    frame = Frame(ftype=FrameType.DATA, src=0, dst=1, size_bytes=10)
+    with validate.warn(), quiet():
+        mark = validate.MONITOR.mark()
+        agent._transmit_if_possible(frame)
+    recorded = validate.MONITOR.since(mark)
+    assert any(v.invariant == "mac.transmit-while-dead" for v in recorded)
+    assert any(v.nodes == (0,) for v in recorded)
+
+
+def test_sim_result_surfaces_violations_in_warn_mode():
+    """PollingSimResult.violations carries what the monitor saw during the
+    run (empty here: healthy run), scoped to that run only."""
+    with validate.warn():
+        validate.MONITOR.record  # touch: process-wide monitor in play
+        result = run_polling_simulation(PollingSimConfig(n_sensors=8, n_cycles=1))
+    assert result.violations == []
