@@ -27,6 +27,7 @@ CHEAP_BENCHES = {
     "fig2": "test_bench_fig2.py",
     "fig4": "test_bench_fig4.py",
     "core_kernels": "test_bench_core_kernels.py",
+    "failover": "test_bench_failover.py",
 }
 
 

@@ -1,0 +1,42 @@
+"""Benchmarks guarding the survivability machinery's cost.
+
+Two promises are on the line: ``compute_backup_routes`` (warm-start Dinic
+on the node-split graph) must stay cheap enough to run at every route
+repair, and a faulted run at ``backup_k=0`` must cost the same as before
+the failover feature existed — the k=0 path is contractually bit-for-bit
+identical, so any slowdown here is pure overhead leaking into the off
+switch.  The committed BENCH_failover.json baseline holds both inside the
+CI 30% regression gate.
+"""
+
+from repro.faults import FaultPlan, NodeCrash
+from repro.net.cluster_sim import PollingSimConfig, run_polling_simulation
+from repro.routing import compute_backup_routes, solve_min_max_load
+from repro.topology import Cluster, uniform_square
+
+PLAN = FaultPlan(crashes=[NodeCrash(node=7, at=20.3)])
+
+
+def test_bench_backup_routes_kernel(benchmark):
+    dep = uniform_square(40, seed=0)
+    solution = solve_min_max_load(Cluster.from_deployment(dep))
+    routes = benchmark(lambda: compute_backup_routes(solution, k=2))
+    assert any(routes.paths_for(s) for s in solution.flow_paths)
+
+
+def test_bench_faulted_sim_k0(benchmark):
+    cfg = PollingSimConfig(
+        n_sensors=30, n_cycles=4, seed=3, fault_plan=PLAN, backup_k=0
+    )
+    res = benchmark(lambda: run_polling_simulation(cfg))
+    assert res.mac.backups is None
+    assert res.packets_delivered > 0
+
+
+def test_bench_faulted_sim_k1(benchmark):
+    cfg = PollingSimConfig(
+        n_sensors=30, n_cycles=4, seed=3, fault_plan=PLAN, backup_k=1
+    )
+    res = benchmark(lambda: run_polling_simulation(cfg))
+    assert res.mac.backups is not None
+    assert res.packets_delivered > 0

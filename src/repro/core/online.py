@@ -26,14 +26,38 @@ from typing import Callable
 
 from .. import validate as _validate
 from ..interference.base import CompatibilityOracle
-from ..routing.paths import RoutingPlan
+from ..routing.backup import BackupRoutes
+from ..routing.paths import RelayingPath, RoutingPlan
 from ..sim.rng import RngStreams
 from ..topology.cluster import HEAD
 from .requests import PollRequest, RequestPool, RequestState
 from .schedule import PollingSchedule
 from .transmissions import Transmission
 
-__all__ = ["LossModel", "BernoulliLoss", "NoLoss", "OnlinePollingScheduler", "OnlineResult"]
+__all__ = [
+    "LossModel",
+    "BernoulliLoss",
+    "NoLoss",
+    "FailoverEvent",
+    "OnlinePollingScheduler",
+    "OnlineResult",
+]
+
+
+@dataclass(frozen=True)
+class FailoverEvent:
+    """One in-cycle switch of a sensor onto a precomputed backup path.
+
+    ``reason`` is ``"retry-exhausted"`` (a request burned its per-path retry
+    budget) or ``"miss-streak"`` (the sensor reached K consecutive misses
+    and would otherwise have been declared dead).
+    """
+
+    slot: int
+    sensor: int
+    old_path: RelayingPath
+    new_path: RelayingPath
+    reason: str
 
 
 class LossModel:
@@ -89,6 +113,7 @@ class OnlineResult:
     slots_elapsed: int
     failed_ids: frozenset[int] = frozenset()
     blacklisted: frozenset[int] = frozenset()
+    failovers: tuple[FailoverEvent, ...] = ()
 
     @property
     def n_failed(self) -> int:
@@ -144,6 +169,17 @@ class OnlinePollingScheduler:
         abandoned into ``failed_ids`` and the sensor joins ``blacklist`` so
         the MAC can exclude it from future cycles and repair routes around
         it.
+    backups:
+        optional precomputed k-disjoint backup paths (``routing/backup.py``).
+        ``None`` (the default) keeps the pre-survivability behavior bit for
+        bit.  With backups, a sensor whose relay path shows evidence of a
+        dead interior relay — retry exhaustion or a K-miss streak — is
+        switched onto its next viable backup *in-cycle*: pending requests
+        re-issue along the new path at the next slot with a fresh retry
+        budget, instead of being written off until the boundary repair.  A
+        backup is viable only if none of its interior relays is already a
+        suspect or blacklisted; when the pool runs dry the original
+        abandon/blacklist semantics apply unchanged.
     """
 
     def __init__(
@@ -155,6 +191,7 @@ class OnlinePollingScheduler:
         max_slots: int = 1_000_000,
         retry_limit: int | None = None,
         dead_after_misses: int | None = None,
+        backups: BackupRoutes | None = None,
     ):
         self.plan = plan
         self.oracle = oracle
@@ -190,6 +227,27 @@ class OnlinePollingScheduler:
                         f"hop {a}->{b} of sensor {req.sensor}'s path never "
                         "decodes even alone; routing must avoid it"
                     )
+        # In-cycle failover state.  Backups whose hops cannot decode even
+        # alone are silently unusable (unlike the plan they are optional),
+        # so they are filtered here once instead of re-checked per switch.
+        self.failover_events: list[FailoverEvent] = []
+        self._slot_cursor = 0
+        self._suspect_nodes: set[int] = set()
+        self._sensor_path: dict[int, RelayingPath] = {}
+        self._retry_base: dict[int, int] = {}
+        self._backup_pool: dict[int, list[RelayingPath]] = {}
+        if backups is not None:
+            for sensor, paths in backups.backups.items():
+                usable = [
+                    p
+                    for p in paths
+                    if all(
+                        oracle.single_link_ok((a, b))
+                        for a, b in zip(p, p[1:])
+                    )
+                ]
+                if usable:
+                    self._backup_pool[sensor] = usable
 
     # -- the algorithm ----------------------------------------------------------
 
@@ -213,6 +271,7 @@ class OnlinePollingScheduler:
             slots_elapsed=t,
             failed_ids=frozenset(self.failed),
             blacklisted=frozenset(self.blacklist),
+            failovers=tuple(self.failover_events),
         )
 
     def validate_invariants(self, sim_time: float | None = None, hint: str = "") -> int:
@@ -240,6 +299,7 @@ class OnlinePollingScheduler:
 
     def external_step(self, t: int, delivered_now: set[int]) -> list[Transmission]:
         """Advance to slot *t* given the head's observed arrivals at t-1."""
+        self._slot_cursor = t
         due = self._take_arrivals(t - 1)
         # Deliveries first: same-slot proof of life must reset a sensor's
         # miss streak before a sibling request's miss can condemn it.
@@ -260,25 +320,111 @@ class OnlinePollingScheduler:
 
         A real head cannot re-poll forever (a dead sensor would stall the
         whole duty cycle); past the limit the packet is abandoned and
-        reported in ``failed`` / :attr:`OnlineResult.failed_ids`.
+        reported in ``failed`` / :attr:`OnlineResult.failed_ids`.  With
+        backup routes, exhaustion on one path first tries switching the
+        sensor onto a backup with a fresh budget; only when no viable
+        backup remains does the original write-off apply.
         """
-        if self.retry_limit is not None and req.attempts >= self.retry_limit:
-            req.state = RequestState.DELETED
-            self.failed.add(req.request_id)
-            self._undelivered -= 1
+        base = self._retry_base.get(req.request_id, 0)
+        if (
+            self.retry_limit is not None
+            and req.attempts - base >= self.retry_limit
+        ):
+            if self._backup_pool.get(req.sensor):
+                # The whole interior of the exhausted path is now suspect —
+                # the head cannot tell which relay swallowed the packets.
+                self._suspect_nodes.update(req.path[1:-1])
+                req.mark_lost()
+                if self._try_failover(
+                    req.sensor, req.path, "retry-exhausted"
+                ):
+                    self._reinsert_active(req)
+                    return
+                # No viable backup: fall through to the original write-off.
+                req.state = RequestState.DELETED
+                self.failed.add(req.request_id)
+                self._undelivered -= 1
+            else:
+                req.state = RequestState.DELETED
+                self.failed.add(req.request_id)
+                self._undelivered -= 1
         else:
             req.mark_lost()
+            current = self._sensor_path.get(req.sensor)
+            if current is not None and req.path != current:
+                # The sensor switched paths while this request was in
+                # flight; re-issue along the new path with its fresh budget.
+                req.path = current
+                self._retry_base[req.request_id] = req.attempts
             self._reinsert_active(req)
-        self._note_miss(req.sensor)
+        self._note_miss(req.sensor, req.path)
 
-    def _note_miss(self, sensor: int) -> None:
-        """Count a consecutive missed arrival; declare the sensor dead at K."""
+    def _note_miss(
+        self, sensor: int, path: RelayingPath | None = None
+    ) -> None:
+        """Count a consecutive missed arrival; declare the sensor dead at K.
+
+        With backup routes, the K-th consecutive miss first tries an
+        in-cycle path switch — only a sensor with no viable backup left is
+        declared dead and blacklisted.
+        """
         if self.dead_after_misses is None:
             return
         streak = self._miss_streak.get(sensor, 0) + 1
         self._miss_streak[sensor] = streak
         if streak >= self.dead_after_misses and sensor not in self.blacklist:
+            if self._backup_pool.get(sensor):
+                current = self._sensor_path.get(
+                    sensor, path if path is not None else ()
+                )
+                self._suspect_nodes.update(current[1:-1])
+                if self._try_failover(sensor, current, "miss-streak"):
+                    return
             self._declare_dead(sensor)
+
+    def _try_failover(
+        self, sensor: int, old_path: RelayingPath, reason: str
+    ) -> bool:
+        """Switch *sensor* onto its next viable backup path, if any.
+
+        Viability excludes backups routing through suspect or blacklisted
+        relays.  On success every not-yet-scheduled request of the sensor is
+        re-stamped with the new path and a fresh retry budget, the miss
+        streak resets (the new path has shown no evidence either way), and
+        the switch is logged as a :class:`FailoverEvent` at the next slot a
+        re-poll can go out.  In-flight (IDLE) requests keep their old path —
+        their transmissions are already reserved in the schedule.
+        """
+        pool = self._backup_pool.get(sensor)
+        if not pool:
+            return False
+        avoid = self._suspect_nodes | self.blacklist
+        new_path: RelayingPath | None = None
+        while pool:
+            candidate = pool.pop(0)
+            if not (set(candidate[1:-1]) & avoid):
+                new_path = candidate
+                break
+        if not pool:
+            self._backup_pool.pop(sensor, None)
+        if new_path is None:
+            return False
+        self._sensor_path[sensor] = new_path
+        for req in self.pool.requests:
+            if req.sensor == sensor and req.state is RequestState.ACTIVE:
+                req.path = new_path
+                self._retry_base[req.request_id] = req.attempts
+        self._miss_streak.pop(sensor, None)
+        self.failover_events.append(
+            FailoverEvent(
+                slot=self._slot_cursor,
+                sensor=sensor,
+                old_path=old_path,
+                new_path=new_path,
+                reason=reason,
+            )
+        )
+        return True
 
     def _declare_dead(self, sensor: int) -> None:
         """Blacklist *sensor* and abandon all its undelivered requests.
@@ -316,6 +462,7 @@ class OnlinePollingScheduler:
 
     def _process_arrivals(self, t: int) -> None:
         """Resolve requests whose expected arrival slot has just completed."""
+        self._slot_cursor = t
         due = self._take_arrivals(t - 1)
         for req in due:
             if self._attempt_ok_until[req.request_id] >= req.hop_count:

@@ -14,6 +14,13 @@ graceful-degradation metrics next to the paper's throughput numbers:
   cycles (a loss burst must outlast K cycles to fake a death, so K is
   the detector's burst-tolerance knob).
 
+Every regime runs twice: reactive (``k=0``, recovery waits for the
+duty-cycle-boundary route repair) and proactive (``k=1``, one node-disjoint
+backup path per sensor for in-cycle failover).  The availability columns —
+median time-to-recover in cycles, delivery continuity, failover/repair
+counts — are where the two separate: same topology, same faults, same
+detector, different recovery latency.
+
 Run it::
 
     python -m repro.experiments.fault_ablation
@@ -23,30 +30,61 @@ from __future__ import annotations
 
 from ..faults import BatteryDepletion, BurstyLinks, FaultPlan, NodeCrash, TransientStun
 from ..net.cluster_sim import PollingSimConfig, run_polling_simulation
+from ..routing import compute_backup_routes
 from .common import print_table
 
 __all__ = ["run", "main"]
 
 
-def _relays_of(config: PollingSimConfig) -> list[int]:
+def _relays_of(config: PollingSimConfig) -> tuple[list[int], int | None]:
     """The relays min-max routing actually uses on this seed (found by a
-    dry run of the fault-free configuration)."""
+    dry run of the fault-free configuration), plus one *survivable* relay:
+    a relay every downstream sensor of which has a node-disjoint backup,
+    so an in-cycle failover can actually absorb its death."""
     base = run_polling_simulation(config)
-    plan = base.mac.routing.routing_plan()
+    solution = base.mac.routing
+    plan = solution.routing_plan()
     relays = sorted({n for p in plan.paths.values() for n in p[1:-1] if n >= 0})
     if not relays:
         raise RuntimeError("deployment has no multi-hop relays; pick another seed")
-    return relays
+    routes = compute_backup_routes(solution, k=1)
+    backed = None
+    for r in relays:
+        downstream = [
+            s
+            for s, bundles in solution.flow_paths.items()
+            if s != r and any(r in p[1:-1] for p, _ in bundles)
+        ]
+        if downstream and all(
+            any(r not in bp for bp in routes.paths_for(s)) for s in downstream
+        ):
+            backed = r
+            break
+    return relays, backed
 
 
 def _plans(config: PollingSimConfig) -> dict[str, FaultPlan | None]:
-    relays = _relays_of(config)
+    relays, backed = _relays_of(config)
     mid = config.n_cycles // 2 * config.cycle_length + 0.3  # mid data phase
     r0 = relays[0]
     r1 = relays[len(relays) // 2]
-    return {
+    plans: dict[str, FaultPlan | None] = {
         "none": None,
         "crash-1": FaultPlan(crashes=[NodeCrash(node=r0, at=mid)]),
+        # a relay whose whole downstream has disjoint backups, killed in
+        # the sleep phase (nothing in flight to mask the outage): the
+        # regime where proactive failover (k>=1) fully absorbs the death
+        # while reactive recovery waits out detection + boundary repair
+        "crash-b": None
+        if backed is None
+        else FaultPlan(
+            crashes=[
+                NodeCrash(
+                    node=backed,
+                    at=(config.n_cycles // 2 + 0.55) * config.cycle_length,
+                )
+            ]
+        ),
         "crash-2": FaultPlan(
             crashes=[
                 NodeCrash(node=r0, at=mid),
@@ -60,45 +98,61 @@ def _plans(config: PollingSimConfig) -> dict[str, FaultPlan | None]:
         "bursty": FaultPlan(bursty_links=BurstyLinks()),
         "bursty-K6": FaultPlan(bursty_links=BurstyLinks()),
     }
+    if backed is None:
+        del plans["crash-b"]  # topology offers no fully-backed-up relay
+    return plans
 
 
 def run(
     n_sensors: int = 30,
     n_cycles: int = 12,
     seed: int = 3,
+    backup_ks: tuple[int, ...] = (0, 1),
 ) -> list[dict]:
     config = PollingSimConfig(n_sensors=n_sensors, n_cycles=n_cycles, seed=seed)
     rows: list[dict] = []
     for name, plan in _plans(config).items():
-        cfg = PollingSimConfig(
-            n_sensors=n_sensors,
-            n_cycles=n_cycles,
-            seed=seed,
-            fault_plan=plan,
-            dead_after_misses=6 if name.endswith("K6") else 2,
-        )
-        res = run_polling_simulation(cfg)
-        deg = res.degradation
-        rows.append(
-            {
-                "faults": name,
-                "delivered": deg.delivered,
-                "failed": deg.failed,
-                "delivery_ratio": deg.delivery_ratio,
-                "coverage": deg.surviving_coverage,
-                "dead_true": len(deg.dead_true),
-                "blacklisted": len(deg.blacklisted),
-                "false_pos": len(deg.false_positives),
-                "stranded": deg.stranded_packets,
-                "repairs": deg.route_repairs,
-            }
-        )
+        for k in backup_ks:
+            cfg = PollingSimConfig(
+                n_sensors=n_sensors,
+                n_cycles=n_cycles,
+                seed=seed,
+                fault_plan=plan,
+                dead_after_misses=6 if name.endswith("K6") else 2,
+                backup_k=k,
+            )
+            res = run_polling_simulation(cfg)
+            deg = res.degradation
+            avail = res.availability
+            ttr = avail.median_ttr_cycles
+            rows.append(
+                {
+                    "faults": name,
+                    "k": k,
+                    "delivered": deg.delivered,
+                    "failed": deg.failed,
+                    "delivery_ratio": deg.delivery_ratio,
+                    "coverage": deg.surviving_coverage,
+                    "dead_true": len(deg.dead_true),
+                    "blacklisted": len(deg.blacklisted),
+                    "false_pos": len(deg.false_positives),
+                    "stranded": deg.stranded_packets,
+                    "repairs": deg.route_repairs,
+                    "failovers": avail.in_cycle_failovers,
+                    "ttr_cycles": ttr if ttr != float("inf") else -1.0,
+                    "continuity": avail.continuity,
+                }
+            )
     return rows
 
 
 def main() -> None:
     rows = run()
-    print_table("Fault ablation: graceful degradation (30 sensors, 12 cycles)", rows)
+    print_table(
+        "Fault ablation: graceful degradation & recovery latency "
+        "(30 sensors, 12 cycles; k = backup paths, ttr -1 = never recovered)",
+        rows,
+    )
 
 
 if __name__ == "__main__":

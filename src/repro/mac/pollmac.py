@@ -36,9 +36,10 @@ from ..core.requests import RequestState
 from ..core.transmissions import Transmission
 from ..interference.physical import PhysicalModelOracle
 from ..radio.packet import BROADCAST_ADDR, DEFAULT_SIZES, Frame, FrameSizes, FrameType
+from ..routing.backup import BackupRoutes, compute_backup_routes
 from ..routing.minmax import FlowSolution, solve_min_max_load
 from ..routing.paths import RoutingPlan
-from ..routing.repair import prune_dead_nodes
+from ..routing.repair import prune_dead_nodes, repair_routing
 from ..routing.rotation import PathRotator
 from ..sim.kernel import Simulator
 from ..sim.process import Process, Timeout
@@ -327,6 +328,7 @@ class PollingClusterMac:
         cluster_id: int = 0,
         failure_detection: bool = False,
         dead_after_misses: int = 2,
+        backup_k: int = 0,
     ):
         self.phy = phy
         self.sim = phy.sim
@@ -342,6 +344,9 @@ class PollingClusterMac:
         if dead_after_misses < 1:
             raise ValueError(f"dead_after_misses must be >= 1, got {dead_after_misses}")
         self.dead_after_misses = dead_after_misses
+        if backup_k < 0:
+            raise ValueError(f"backup_k must be >= 0, got {backup_k}")
+        self.backup_k = backup_k
         self.packets_failed = 0
         # Recovery state: the topology the head currently plans on (pruned
         # after each repair), declared-dead sensors, survivors that lost
@@ -367,6 +372,23 @@ class PollingClusterMac:
         self.routing = routing or solve_min_max_load(self._planning_cluster())
         self.rotator = PathRotator(self.routing)
         self.ack_plan = plan_ack_collection(self.active_cluster, self.routing.routing_plan())
+        # Proactive survivability (backup_k > 0): k-disjoint backup paths
+        # per sensor, recomputed alongside every routing (re-)solve, handed
+        # to the data-phase scheduler for in-cycle failover.
+        self.backups = self._compute_backups()
+        self.failover_log: list[dict] = []
+        self.in_cycle_failovers = 0
+        self.adoptions = 0
+        self.halted = False
+        # (sim time, origin) per delivered data packet — availability
+        # metrics derive time-to-recover from this; append-only bookkeeping
+        # with no event or RNG impact, so backup_k=0 stays bit-for-bit.
+        self.delivery_times: list[tuple[float, int]] = []
+        # Which FlowSolution was in force when: availability metrics use it
+        # to decide which origins a fault actually disturbed.
+        self.route_history: list[tuple[float, FlowSolution]] = [
+            (self.sim.now, self.routing)
+        ]
         # Sector operation (Sec. IV): fixed relay trees per sector, polled in
         # turn; sensors sleep outside the ack phase and their own window.
         self.partition = None
@@ -381,6 +403,11 @@ class PollingClusterMac:
         self._delivered_packets: list[AppPacket] = []
         self.cycle_stats: list[CycleStats] = []
         self.process: Process | None = None
+
+    def _compute_backups(self) -> BackupRoutes | None:
+        if self.backup_k <= 0:
+            return None
+        return compute_backup_routes(self.routing, self.backup_k)
 
     def _planning_cluster(self) -> Cluster:
         """Routing uses >=1 packet per reachable sensor so each gets a path.
@@ -402,6 +429,60 @@ class PollingClusterMac:
         self.process = Process(self.sim, self._run(n_cycles), name="polling-head")
         return self.process
 
+    def halt(self) -> None:
+        """Fail-stop cluster-head crash: radio dark, duty cycle killed.
+
+        Sensors are left exactly as the crash finds them — awake sensors
+        keep listening to a head that will never poll again, sleeping ones
+        wake on their last announced schedule.  Recovery, if any, comes from
+        outside (see head failover in :mod:`repro.net.multicluster_sim`).
+        """
+        self.halted = True
+        self.head_trx.fail()
+        if self.process is not None:
+            self.process.stop()
+
+    def adopt_sensors(
+        self, new_phy: ClusterPhy, new_agents: list[PollingSensorAgent]
+    ) -> int:
+        """Take over orphaned sensors after a neighbor head's crash.
+
+        *new_phy* is this cluster's PHY extended with the orphans' existing
+        transceivers (head still last); *new_agents* are freshly built
+        agents for the orphans' new local ids — their construction already
+        re-bound each orphan radio's receive callback away from the dead
+        cluster's agents.  The merged demand is routed via
+        :func:`~repro.routing.repair.repair_routing` on the re-discovered
+        topology: blacklisted nodes stay pruned, orphans out of this head's
+        reach come back ``uncovered`` and are planned at zero (the standard
+        partial-coverage contract) rather than failing the takeover.
+        """
+        self.phy = new_phy
+        for agent in self.sensors:
+            agent.phy = new_phy
+        self.sensors = list(self.sensors) + list(new_agents)
+        self.oracle = phy_truth_oracle(new_phy, self.oracle.max_group_size)
+        base = new_phy.cluster.with_packets(
+            np.maximum(new_phy.cluster.packets, 1)
+        )
+        result = repair_routing(base, set(self.blacklisted))
+        self.active_cluster = result.cluster
+        self.unreachable = set(result.uncovered)
+        self.routing = result.solution
+        self.rotator = PathRotator(self.routing)
+        self.ack_plan = plan_ack_collection(
+            self.active_cluster, self.routing.routing_plan()
+        )
+        if self.partition is not None:
+            from ..core.sectors import partition_into_sectors
+
+            self.partition = partition_into_sectors(self.routing, oracle=self.oracle)
+        self.backups = self._compute_backups()
+        self.route_history.append((self.sim.now, self.routing))
+        self.route_repairs += 1
+        self.adoptions += len(new_agents)
+        return len(new_agents)
+
     @property
     def packets_delivered(self) -> int:
         return len(self._delivered_packets)
@@ -419,7 +500,9 @@ class PollingClusterMac:
             ins: PollInstruction = frame.payload["instruction"]
             if ins.receiver == HEAD:
                 self._arrived_requests.add(ins.request_id)
-                self._delivered_packets.append(frame.payload["packet"])
+                packet = frame.payload["packet"]
+                self._delivered_packets.append(packet)
+                self.delivery_times.append((self.sim.now, packet.origin))
         elif frame.ftype is FrameType.ACK_REPORT:
             ins = frame.payload["instruction"]
             if ins.receiver == HEAD:
@@ -457,6 +540,12 @@ class PollingClusterMac:
             self.oracle,
             retry_limit=self.retry_limit,
             dead_after_misses=self.dead_after_misses if self.failure_detection else None,
+            # Both phases fail over: a relay that dies outside the data
+            # phase kills next cycle's *ack* collection first, and without
+            # an ack count the head never activates the data requests it
+            # would need to fail over.  Evidence mining still sees the
+            # death — every failover event's abandoned path is implicated.
+            backups=self.backups,
         )
         slot_time = self._slot_time(payload_bytes)
         self._arrived_requests = set()
@@ -485,6 +574,15 @@ class PollingClusterMac:
             yield Timeout(slot_time)
             t += 1
         retx = scheduler.pool.total_attempts() - len(scheduler.pool.requests)
+        if scheduler.failover_events:
+            self.in_cycle_failovers += len(scheduler.failover_events)
+            self.failover_log.append(
+                {
+                    "time": self.sim.now,
+                    "phase": phase,
+                    "events": list(scheduler.failover_events),
+                }
+            )
         # Phase invariants on the schedule the radio actually executed:
         # conservation of requests and the per-slot ≤M/compatibility rules.
         scheduler.validate_invariants(
@@ -592,6 +690,14 @@ class PollingClusterMac:
                     implicated.update(nodes)
                 elif phase == "data" and req.state is RequestState.DELETED:
                     alive.update(nodes)
+            # An in-cycle failover is implication evidence too: the head
+            # abandoned the old path because its relays swallowed packets.
+            # Without this, a successful failover (packets delivered, nothing
+            # in ``failed``) would leave the dead relay unsuspected and the
+            # boundary repair would never route around it.
+            for ev in sched.failover_events:
+                paths.append(tuple(n for n in ev.old_path if n != HEAD))
+                implicated.update(n for n in ev.old_path[1:-1])
         covered = {n for p in self.ack_plan.paths for n in p if n != HEAD}
         implicated |= covered - alive
         suspects = implicated - alive - self.blacklisted
@@ -641,8 +747,13 @@ class PollingClusterMac:
                 "blacklisted": sorted(self.blacklisted),
                 "unreachable": sorted(self.unreachable),
                 "newly_unreachable": sorted(self.unreachable - previously_unreachable),
+                # Pending packets are attributed to the repair that *first*
+                # cut the sensor off; keying on newly_unreachable means a
+                # sensor stranded across two consecutive repairs is counted
+                # by exactly one of them (see reconcile_dropped_demand).
                 "dropped_pending": {
-                    i: self.sensors[i].pending_count for i in sorted(self.unreachable)
+                    i: self.sensors[i].pending_count
+                    for i in sorted(self.unreachable - previously_unreachable)
                 },
             }
         )
@@ -651,11 +762,45 @@ class PollingClusterMac:
         self.ack_plan = plan_ack_collection(
             self.active_cluster, self.routing.routing_plan()
         )
+        self.backups = self._compute_backups()
+        self.route_history.append((self.sim.now, self.routing))
         if self.partition is not None:
             from ..core.sectors import partition_into_sectors
 
             self.partition = partition_into_sectors(self.routing, oracle=self.oracle)
         self.route_repairs += 1
+
+    def _backup_ack_sweep(self, covered: set[int]):
+        """Generator: one extra ack round over backup paths.
+
+        *covered* is everyone the ack cover should have reported; whoever
+        is absent from ``_ack_counts`` is polled again along its first
+        backup path that avoids the other missing nodes (a backup relayed
+        by another silent node is presumed equally dead) and the blacklist.
+        Reports merged on the way pick up interior counts too.  Returns the
+        slots used; zero when nothing is missing — a healthy cycle pays no
+        overhead for being prepared.
+        """
+        missing = sorted(covered - set(self._ack_counts) - self.blacklisted)
+        sweep_paths: dict[int, tuple[int, ...]] = {}
+        for sensor in missing:
+            for path in self.backups.paths_for(sensor):
+                interior = set(path[1:-1])
+                if interior & (set(missing) | self.blacklisted):
+                    continue
+                sweep_paths[sensor] = path
+                break
+        if not sweep_paths:
+            return 0
+        packets = np.zeros(self.phy.n_sensors, dtype=np.int64)
+        for sensor in sweep_paths:
+            packets[sensor] = 1
+        plan = RoutingPlan(
+            cluster=self.active_cluster.with_packets(packets), paths=sweep_paths
+        )
+        slots, _, sched = yield from self._run_phase("ack", plan, self.sizes.ack_report)
+        self._phase_schedulers.append(("ack", sched))
+        return slots
 
     def _run(self, n_cycles: int):
         sim = self.sim
@@ -684,6 +829,17 @@ class PollingClusterMac:
                 "ack", ack_plan, self.sizes.ack_report
             )
             self._phase_schedulers.append(("ack", ack_sched))
+            # 2b. backup ack sweep (proactive survivability, k >= 1 only).
+            # A dead *middle* relay does not fail its ack request — the
+            # downstream relay re-originates the report with its own count
+            # — so the only symptom is counts that never arrived.  Without
+            # them the head cannot even issue the data requests it would
+            # fail over, so re-collect exactly the missing counts along
+            # the sensors' disjoint backup paths before polling data.
+            if self.backups is not None:
+                ack_slots += yield from self._backup_ack_sweep(
+                    {n for p in self.ack_plan.paths for n in p if n != HEAD}
+                )
             # 3. data polling from the reported counts.
             counts = np.zeros(self.phy.n_sensors, dtype=np.int64)
             for sensor, cnt in self._ack_counts.items():

@@ -1,7 +1,8 @@
 """Measurement layer: active time, throughput, lifetime, energy, degradation."""
 
 from .activetime import ActiveTimeConfig, ActiveTimeResult, CycleRecord, simulate_active_time
-from .degradation import DegradationReport, degradation_report
+from .availability import AvailabilityReport, FaultRecovery, availability_report
+from .degradation import DegradationReport, degradation_report, reconcile_dropped_demand
 from .energy import EnergyReport, energy_report
 from .lifetime import (
     EnergyRateModel,
@@ -16,8 +17,12 @@ __all__ = [
     "ActiveTimeResult",
     "CycleRecord",
     "simulate_active_time",
+    "AvailabilityReport",
+    "FaultRecovery",
+    "availability_report",
     "DegradationReport",
     "degradation_report",
+    "reconcile_dropped_demand",
     "EnergyRateModel",
     "LifetimeResult",
     "evaluate_lifetime_ratio",

@@ -17,7 +17,30 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..faults.injector import FaultInjector
     from ..mac.pollmac import PollingClusterMac
 
-__all__ = ["DegradationReport", "degradation_report"]
+__all__ = [
+    "DegradationReport",
+    "degradation_report",
+    "reconcile_dropped_demand",
+]
+
+
+def reconcile_dropped_demand(repair_log: list[dict]) -> dict[int, int]:
+    """Per-sensor pending packets dropped by route repair, counted once.
+
+    The MAC's ``repair_log`` records each repair's cut-off sensors; because
+    pruning only grows, a sensor stranded before repair N is still stranded
+    at repair N+1, and summing the raw per-repair dicts would bill the same
+    pending packets to every later repair.  Attribution is therefore to the
+    *first* repair that dropped the sensor — later entries (present in logs
+    written before ``dropped_pending`` switched to newly-unreachable keys)
+    never add to it.
+    """
+    merged: dict[int, int] = {}
+    for entry in repair_log:
+        for sensor, pending in entry.get("dropped_pending", {}).items():
+            if sensor not in merged:
+                merged[sensor] = pending
+    return merged
 
 
 @dataclass(frozen=True)

@@ -9,6 +9,8 @@ from .cluster_sim import (
 from .coloring import greedy_coloring, is_proper_coloring, six_color_planar
 from .multicluster import TokenSchedule, assign_channels, concurrency_gain
 from .multicluster_sim import (
+    AdoptionEvent,
+    HeadFailoverCoordinator,
     MultiClusterConfig,
     MultiClusterResult,
     run_multicluster_simulation,
@@ -29,6 +31,8 @@ __all__ = [
     "TokenSchedule",
     "MultiClusterConfig",
     "MultiClusterResult",
+    "AdoptionEvent",
+    "HeadFailoverCoordinator",
     "run_multicluster_simulation",
     "assign_channels",
     "concurrency_gain",

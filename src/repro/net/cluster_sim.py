@@ -18,6 +18,7 @@ from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
 from ..mac.base import ClusterPhy, MacTimings, build_cluster_phy
 from ..mac.pollmac import PollingClusterMac
+from ..metrics.availability import AvailabilityReport, availability_report
 from ..metrics.degradation import DegradationReport, degradation_report
 from ..radio.energy import EnergyParams
 from ..radio.packet import DEFAULT_SIZES, FrameSizes
@@ -75,6 +76,10 @@ class PollingSimConfig:
     fault_plan: FaultPlan | None = None
     retry_limit: int | None = 12
     dead_after_misses: int = 2
+    # Proactive survivability: k node-disjoint backup paths per sensor for
+    # in-cycle failover.  0 (the default) is the exact pre-survivability
+    # code path, bit for bit.
+    backup_k: int = 0
 
 
 @dataclass
@@ -99,6 +104,15 @@ class PollingSimResult:
         """Graceful-degradation view of the run (meaningful for faulted
         runs; trivially perfect for fault-free ones)."""
         return degradation_report(self.mac, self.injector)
+
+    @property
+    def availability(self) -> AvailabilityReport:
+        """Recovery-latency view: per-fault time-to-recover, delivery
+        continuity, and the failover/repair counters (see
+        :mod:`repro.metrics.availability`)."""
+        return availability_report(
+            self.mac, self.injector, self.config.cycle_length
+        )
 
     @property
     def mean_active_fraction(self) -> float:
@@ -180,6 +194,7 @@ def run_polling_simulation(
         retry_limit=config.retry_limit,
         failure_detection=faulted,
         dead_after_misses=config.dead_after_misses,
+        backup_k=config.backup_k,
     )
     sources = attach_cbr_sources(
         sim,

@@ -20,6 +20,7 @@ All three run the full per-cluster polling MAC; the shared
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -31,7 +32,7 @@ from ..mac.base import (
     MacTimings,
     sensor_power_for_range,
 )
-from ..mac.pollmac import PollingClusterMac, phy_truth_oracle
+from ..mac.pollmac import PollingClusterMac, PollingSensorAgent, phy_truth_oracle
 from ..radio.channel import RadioMedium
 from ..radio.energy import EnergyParams
 from ..radio.packet import DEFAULT_SIZES
@@ -44,9 +45,15 @@ from ..topology.forming import FormedNetwork, form_clusters
 from .cluster_sim import cluster_from_phy
 from .coloring import six_color_planar
 from ..topology.forming import cluster_adjacency
-from ..traffic.cbr import attach_cbr_sources
+from ..traffic.cbr import CbrSource, attach_cbr_sources
 
-__all__ = ["MultiClusterConfig", "MultiClusterResult", "run_multicluster_simulation"]
+__all__ = [
+    "MultiClusterConfig",
+    "MultiClusterResult",
+    "AdoptionEvent",
+    "HeadFailoverCoordinator",
+    "run_multicluster_simulation",
+]
 
 
 @dataclass(frozen=True)
@@ -63,6 +70,27 @@ class MultiClusterConfig:
     bitrate: float = 200_000.0
     packet_bytes: int = 80
     energy: EnergyParams = EnergyParams()
+    # Head survivability.  All defaults off = the exact pre-failover code
+    # path, bit for bit: no coordinator object, no scheduled events, no RNG
+    # draws.  ``head_crashes`` injects fail-stop head crashes as (head,
+    # time) pairs; ``head_failover`` arms the inter-cluster beacon watchdog
+    # that detects them and hands the orphaned sensors to the nearest
+    # surviving head (crashes without failover = the baseline where the
+    # whole cluster simply goes dark).
+    head_failover: bool = False
+    head_crashes: tuple[tuple[int, float], ...] = ()
+    beacon_interval: float = 1.0
+    beacon_miss_limit: int = 3
+
+
+@dataclass(frozen=True)
+class AdoptionEvent:
+    """One head takeover: who died, who adopted, and which sensors moved."""
+
+    time: float  # when the watchdog declared the head dead (detection time)
+    dead_head: int
+    adopter: int
+    sensors: tuple[int, ...]  # global sensor ids that changed cluster
 
 
 @dataclass
@@ -74,6 +102,9 @@ class MultiClusterResult:
     elapsed: float
     packets_generated: int
     collisions: int
+    coordinator: "HeadFailoverCoordinator | None" = None
+    """Present only when head crashes or failover were armed; carries the
+    crash/detection/adoption timeline for availability analysis."""
 
     @property
     def packets_delivered(self) -> int:
@@ -103,6 +134,193 @@ def _head_layout(k: int, field: float, rng) -> np.ndarray:
     pts = [(x, y) for y in ys for x in xs][:k]
     jitter = rng.uniform(-0.05 * field, 0.05 * field, size=(k, 2))
     return np.asarray(pts) + jitter
+
+
+class HeadFailoverCoordinator:
+    """Second-layer survivability: detect dead heads, re-home their sensors.
+
+    Cluster heads exchange periodic inter-cluster beacons (modeled out of
+    band, like the Sec. V-G token passing itself — heads are wired/
+    high-power nodes whose coordination traffic does not contend with the
+    sensor channel).  A head that misses ``beacon_miss_limit`` consecutive
+    beacons is declared dead by its peers; its orphaned sensors are then
+    **adopted** by the nearest surviving head: their radios move to the
+    adopter's channel, fresh sensor agents re-bind the existing
+    transceivers into the adopter's cluster, queued application packets
+    carry over, and the adopter merges the new demand into its routing via
+    the standard boundary repair (blacklists preserved, out-of-reach
+    orphans planned at zero — the partial-coverage contract).
+
+    Crashes themselves are injected via ``config.head_crashes`` whether or
+    not failover is armed, so the no-failover baseline (cluster goes dark,
+    data stops) and the takeover run are directly comparable.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MultiClusterConfig,
+        net: FormedNetwork,
+        medium: RadioMedium,
+        macs: list[PollingClusterMac],
+        channels: np.ndarray,
+        sensor_positions: np.ndarray,
+        head_positions: np.ndarray,
+        source_by_global: dict[int, CbrSource],
+    ):
+        self.sim = sim
+        self.config = config
+        self.net = net
+        self.medium = medium
+        self.macs = macs
+        self.channels = channels
+        self.sensor_positions = sensor_positions
+        self.head_positions = head_positions
+        self.source_by_global = source_by_global
+        self.crashed: list[tuple[int, float]] = []  # ground truth (head, time)
+        self.adoption_events: list[AdoptionEvent] = []
+        self._missed_beacons = {h: 0 for h in range(config.n_heads)}
+        self._declared: set[int] = set()  # heads the watchdog already handled
+
+    def arm(self) -> None:
+        for h, t in self.config.head_crashes:
+            self.sim.at(float(t), self.crash_head, int(h))
+        if self.config.head_failover:
+            self.sim.schedule(self.config.beacon_interval, self._beacon_tick)
+
+    # -- fault injection ---------------------------------------------------------
+
+    def crash_head(self, h: int) -> None:
+        """Fail-stop crash of head *h*: radio dark, duty cycle killed."""
+        mac = self.macs[h]
+        if mac.halted:
+            return
+        self.crashed.append((h, self.sim.now))
+        mac.halt()
+
+    # -- detection ---------------------------------------------------------------
+
+    def _beacon_tick(self) -> None:
+        """One beacon round: live heads beacon, peers count the silent ones."""
+        for h, mac in enumerate(self.macs):
+            if mac.halted:
+                self._missed_beacons[h] += 1
+            else:
+                self._missed_beacons[h] = 0
+        for h in range(self.config.n_heads):
+            if h in self._declared:
+                continue
+            if self._missed_beacons[h] >= self.config.beacon_miss_limit:
+                self._declared.add(h)
+                self._declare_dead(h)
+        self.sim.schedule(self.config.beacon_interval, self._beacon_tick)
+
+    # -- takeover ----------------------------------------------------------------
+
+    def _declare_dead(self, dead_head: int) -> None:
+        dead_phy = self.macs[dead_head].phy
+        assert dead_phy.index_map is not None
+        orphans = [int(g) for g in dead_phy.index_map[:-1]]
+        live = [
+            a
+            for a in range(self.config.n_heads)
+            if a != dead_head and not self.macs[a].halted
+        ]
+        if not orphans or not live:
+            return  # nothing to re-home / nobody left to take them
+        groups: dict[int, list[int]] = {}
+        for g in orphans:
+            deltas = self.head_positions[live] - self.sensor_positions[g]
+            adopter = live[int(np.argmin((deltas**2).sum(axis=1)))]
+            groups.setdefault(adopter, []).append(g)
+        for adopter in sorted(groups):
+            self._adopt(adopter, groups[adopter], dead_head)
+
+    def _adopt(self, adopter: int, orphan_globals: list[int], dead_head: int) -> None:
+        mac = self.macs[adopter]
+        old_phy = mac.phy
+        dead_phy = self.macs[dead_head].phy
+        assert old_phy.index_map is not None and dead_phy.index_map is not None
+        old_sensor_globals = list(old_phy.index_map[:-1])
+        head_global = old_phy.index_map[-1]
+        dead_local = {g: i for i, g in enumerate(dead_phy.index_map[:-1])}
+        # 1. Orphan radios retune to the adopter's channel *before* the
+        #    in-cluster connectivity rediscovery below sees them.
+        for g in orphan_globals:
+            self.medium.set_channel(g, int(self.channels[adopter]))
+        # 2. Extend the adopter's PHY: existing members keep their local
+        #    ids (and transceivers), orphans append, head stays last.
+        new_index_map = old_sensor_globals + orphan_globals + [head_global]
+        transceivers = (
+            list(old_phy.transceivers[:-1])
+            + [dead_phy.transceivers[dead_local[g]] for g in orphan_globals]
+            + [old_phy.transceivers[-1]]
+        )
+        old_cluster = old_phy.cluster
+        dead_cluster = dead_phy.cluster
+        n_new = len(new_index_map) - 1
+        packets = np.concatenate(
+            [
+                old_cluster.packets,
+                [dead_cluster.packets[dead_local[g]] for g in orphan_globals],
+            ]
+        ).astype(np.int64)
+        energy = np.concatenate(
+            [
+                old_cluster.energy,
+                [dead_cluster.energy[dead_local[g]] for g in orphan_globals],
+            ]
+        )
+        base = Cluster(
+            hears=np.zeros((n_new, n_new), dtype=bool),  # rediscovered below
+            head_hears=np.zeros(n_new, dtype=bool),
+            packets=packets,
+            energy=energy,
+            positions=self.sensor_positions[new_index_map[:-1]].copy(),
+            head_position=self.head_positions[adopter].copy(),
+        )
+        new_phy = ClusterPhy(
+            sim=self.sim,
+            cluster=base,
+            medium=self.medium,
+            transceivers=transceivers,
+            tracer=old_phy.tracer,
+            index_map=new_index_map,
+        )
+        new_phy.cluster = _discover_local_cluster(new_phy)
+        # 3. Fresh agents for the orphans' new local ids.  Constructing one
+        #    re-binds the orphan radio's receive callback — that *is* the
+        #    takeover: the dead cluster's agent never hears anything again.
+        dead_agents = {
+            dead_phy.index_map[a.sensor]: a for a in self.macs[dead_head].sensors
+        }
+        new_agents: list[PollingSensorAgent] = []
+        for local, g in enumerate(orphan_globals, start=len(old_sensor_globals)):
+            agent = PollingSensorAgent(
+                new_phy, local, mac.sizes, mac.timings, cluster_id=adopter
+            )
+            old_agent = dead_agents[g]
+            # Queued application data survives the takeover (relay buffers
+            # and in-cycle assignments belonged to the dead head's schedule
+            # and are unusable); re-stamp origins to the new local ids.
+            for pkt in old_agent.own_queue:
+                agent.own_queue.append(dataclasses.replace(pkt, origin=local))
+            old_agent.own_queue.clear()
+            # A sensor asleep on the dead head's schedule would miss the
+            # adopter's polls until its old wake timer fires; wake it now.
+            if agent.trx.is_sleeping:
+                agent.trx.wake()
+            self.source_by_global[g].deliver = agent.generate_packet
+            new_agents.append(agent)
+        mac.adopt_sensors(new_phy, new_agents)
+        self.adoption_events.append(
+            AdoptionEvent(
+                time=self.sim.now,
+                dead_head=dead_head,
+                adopter=adopter,
+                sensors=tuple(orphan_globals),
+            )
+        )
 
 
 def run_multicluster_simulation(
@@ -192,16 +410,34 @@ def run_multicluster_simulation(
 
     # --- traffic --------------------------------------------------------------------
     sources = []
+    source_by_global: dict[int, CbrSource] = {}
     for h, agents in enumerate(all_agents):
-        sources.extend(
-            attach_cbr_sources(
-                sim,
-                agents,
-                rate_bps=config.rate_bps,
-                packet_bytes=config.packet_bytes,
-                seed=config.seed * 101 + h,
-            )
+        cluster_sources = attach_cbr_sources(
+            sim,
+            agents,
+            rate_bps=config.rate_bps,
+            packet_bytes=config.packet_bytes,
+            seed=config.seed * 101 + h,
         )
+        sources.extend(cluster_sources)
+        for agent, src in zip(agents, cluster_sources):
+            source_by_global[int(net.members[h][agent.sensor])] = src
+
+    # --- head survivability (armed only when asked: bit-for-bit otherwise) ------------
+    coordinator: HeadFailoverCoordinator | None = None
+    if config.head_failover or config.head_crashes:
+        coordinator = HeadFailoverCoordinator(
+            sim=sim,
+            config=config,
+            net=net,
+            medium=medium,
+            macs=macs,
+            channels=channels,
+            sensor_positions=sensors,
+            head_positions=heads,
+            source_by_global=source_by_global,
+        )
+        coordinator.arm()
 
     # --- start: aligned, staggered, or concurrent -------------------------------------
     if config.mode == "token":
@@ -214,8 +450,15 @@ def run_multicluster_simulation(
             mac.start(config.n_cycles)
 
     sim.run(until=config.n_cycles * config.cycle_length)
+    seen_trx: set[int] = set()
     for mac in macs:
-        mac.phy.finalize()
+        # Adopted transceivers appear in two PHYs; finalize each radio once
+        # (it would be harmless anyway — the meter integrates zero time on
+        # the second call at the same instant — but keep the ledger obvious).
+        for trx in mac.phy.transceivers:
+            if id(trx) not in seen_trx:
+                seen_trx.add(id(trx))
+                trx.finalize()
     return MultiClusterResult(
         config=config,
         net=net,
@@ -224,6 +467,7 @@ def run_multicluster_simulation(
         elapsed=sim.now,
         packets_generated=sum(s.generated for s in sources),
         collisions=tracer.counts.get("phy_rx_collision", 0),
+        coordinator=coordinator,
     )
 
 

@@ -1,10 +1,11 @@
 """Relay routing: min-max-load flow routing, trees, rotation, AODV baseline."""
 
 from .aodv import BROADCAST, AodvAgent, Rerr, Rrep, Rreq, RouteEntry
+from .backup import BackupRoutes, compute_backup_routes
 from .maxflow import INF, FlowNetwork
 from .minmax import FlowSolution, RoutingInfeasible, solve_min_max_load
 from .paths import RelayingPath, RoutingPlan, validate_path
-from .repair import RepairResult, prune_dead_nodes, repair_routing
+from .repair import RepairResult, merge_dropped_demand, prune_dead_nodes, repair_routing
 from .rotation import PathRotator
 from .tables import (
     OneHopTables,
@@ -25,9 +26,12 @@ __all__ = [
     "RoutingPlan",
     "validate_path",
     "PathRotator",
+    "BackupRoutes",
+    "compute_backup_routes",
     "RepairResult",
     "prune_dead_nodes",
     "repair_routing",
+    "merge_dropped_demand",
     "RelayTree",
     "merge_flow_to_tree",
     "OneHopTables",

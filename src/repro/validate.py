@@ -44,6 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover - import-cycle guards only
     from .core.schedule import PollingSchedule
     from .interference.base import CompatibilityOracle
     from .metrics.energy import EnergyReport
+    from .routing.backup import BackupRoutes
     from .routing.maxflow import FlowNetwork
     from .routing.minmax import FlowSolution
     from .topology.cluster import Cluster
@@ -66,6 +67,7 @@ __all__ = [
     "check_network_flow",
     "check_energy_report",
     "check_delivered_stream",
+    "check_backup_routes",
 ]
 
 MODES = ("off", "warn", "strict")
@@ -550,6 +552,83 @@ def check_energy_report(
                 nodes=over.tolist(),
                 hint=hint,
             )
+    return found
+
+
+def check_backup_routes(
+    cluster: "Cluster",
+    routes: "BackupRoutes",
+    monitor: InvariantMonitor | None = None,
+    hint: str = "",
+) -> int:
+    """Survivability invariants on precomputed backup paths (DESIGN.md §9):
+    every backup is a real relaying path of the hearing graph, visits no
+    relay twice, and its interior relays are disjoint both from the sensor's
+    primary flow paths and from the sensor's other backups — so the death of
+    one interior relay never invalidates the whole bundle."""
+    from .topology.cluster import HEAD
+
+    mon = _m(monitor)
+    if not mon.enabled:
+        return 0
+    found = 0
+    for sensor, paths in sorted(routes.backups.items()):
+        primary = routes.primary_interiors.get(sensor, frozenset())
+        claimed: dict[int, int] = {}  # interior relay -> backup index
+        for idx, path in enumerate(paths):
+            if len(path) < 2 or path[0] != sensor or path[-1] != HEAD:
+                found += 1
+                mon.record(
+                    "backup.path-invalid",
+                    f"sensor {sensor} backup {idx} {path} must start at the "
+                    "sensor and end at the head",
+                    nodes=(sensor,),
+                    hint=hint,
+                )
+                continue
+            if len(set(path[:-1])) != len(path) - 1:
+                found += 1
+                mon.record(
+                    "backup.path-invalid",
+                    f"sensor {sensor} backup {idx} {path} revisits a relay",
+                    nodes=(sensor,),
+                    hint=hint,
+                )
+            for a, b in zip(path, path[1:]):
+                ok = (
+                    bool(cluster.head_hears[a])
+                    if b == HEAD
+                    else bool(cluster.hears[b, a])
+                )
+                if not ok:
+                    found += 1
+                    mon.record(
+                        "backup.path-invalid",
+                        f"hop {a}->{'head' if b == HEAD else b} on sensor "
+                        f"{sensor}'s backup {idx} is not a hearing-graph edge",
+                        nodes=(a,) if b == HEAD else (a, b),
+                        hint=hint,
+                    )
+            for node in path[1:-1]:
+                if node in primary:
+                    found += 1
+                    mon.record(
+                        "backup.disjointness",
+                        f"sensor {sensor} backup {idx} routes through relay "
+                        f"{node}, which lies on a primary path of {sensor}",
+                        nodes=(sensor, node),
+                        hint=hint,
+                    )
+                if node in claimed:
+                    found += 1
+                    mon.record(
+                        "backup.disjointness",
+                        f"sensor {sensor} backups {claimed[node]} and {idx} "
+                        f"share interior relay {node}",
+                        nodes=(sensor, node),
+                        hint=hint,
+                    )
+                claimed[node] = idx
     return found
 
 

@@ -1,0 +1,141 @@
+"""k-disjoint backup routes: disjointness, determinism, validator wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import validate
+from repro.routing import (
+    BackupRoutes,
+    compute_backup_routes,
+    solve_min_max_load,
+)
+from repro.topology import HEAD, Cluster, uniform_square
+
+
+def diamond_cluster() -> Cluster:
+    """s1 can reach the head via s2 or s3; s0 is head-adjacent."""
+    return Cluster.from_edges(
+        4,
+        sensor_edges=[(1, 2), (1, 3)],
+        head_links=[0, 2, 3],
+        packets=[1, 1, 1, 1],
+    )
+
+
+def test_k_zero_is_empty():
+    sol = solve_min_max_load(diamond_cluster())
+    routes = compute_backup_routes(sol, 0)
+    assert routes.k == 0
+    assert routes.backups == {}
+    assert routes.select(1, set()) is None
+
+
+def test_negative_k_rejected():
+    sol = solve_min_max_load(diamond_cluster())
+    with pytest.raises(ValueError):
+        compute_backup_routes(sol, -1)
+
+
+def test_diamond_alternative_found():
+    sol = solve_min_max_load(diamond_cluster())
+    routes = compute_backup_routes(sol, 2)
+    (primary_path, _), = sol.flow_paths[1]
+    backups = routes.paths_for(1)
+    assert len(backups) == 1
+    backup = backups[0]
+    assert backup[0] == 1 and backup[-1] == HEAD
+    # The one alternative uses the relay the primary does not.
+    assert not (set(backup[1:-1]) & set(primary_path[1:-1]))
+
+
+def test_direct_path_not_duplicated_as_backup():
+    """Head-adjacent sensors whose only route is the direct link get no
+    fake backups (the same path repeated is not an alternative)."""
+    sol = solve_min_max_load(diamond_cluster())
+    for sensor in (0, 2, 3):
+        assert routes_avoiding_primaries(sol, sensor) == ()
+
+
+def routes_avoiding_primaries(sol, sensor):
+    return compute_backup_routes(sol, 2).paths_for(sensor)
+
+
+@pytest.mark.parametrize("seed", [1, 3, 7])
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_random_clusters_disjoint_and_valid(seed, k):
+    dep = uniform_square(30, seed=seed)
+    cluster = Cluster.from_deployment(dep)
+    sol = solve_min_max_load(cluster)
+    monitor = validate.InvariantMonitor(mode="warn")
+    routes = compute_backup_routes(sol, k)
+    assert validate.check_backup_routes(cluster, routes, monitor=monitor) == 0
+    assert monitor.violations == []
+    for sensor, paths in routes.backups.items():
+        assert len(paths) <= k
+        primary_interiors = {
+            node
+            for path, _ in sol.flow_paths[sensor]
+            for node in path[1:-1]
+        }
+        seen_interiors: set[int] = set()
+        for path in paths:
+            interior = set(path[1:-1])
+            assert not (interior & primary_interiors)
+            assert not (interior & seen_interiors)
+            seen_interiors |= interior
+
+
+def test_deterministic():
+    dep = uniform_square(40, seed=11)
+    sol = solve_min_max_load(Cluster.from_deployment(dep))
+    a = compute_backup_routes(sol, 2)
+    b = compute_backup_routes(sol, 2)
+    assert a.backups == b.backups
+    assert a.primary_interiors == b.primary_interiors
+
+
+def test_select_skips_suspect_interiors():
+    sol = solve_min_max_load(diamond_cluster())
+    routes = compute_backup_routes(sol, 2)
+    (backup,) = routes.paths_for(1)
+    alt_relay = backup[1]
+    assert routes.select(1, avoid=set()) == backup
+    assert routes.select(1, avoid={alt_relay}) is None
+
+
+def test_validator_flags_corrupted_routes():
+    cluster = diamond_cluster()
+    sol = solve_min_max_load(cluster)
+    good = compute_backup_routes(sol, 2)
+    (primary_path, _), = sol.flow_paths[1]
+    relay = primary_path[1]
+    bad = BackupRoutes(
+        k=2,
+        backups={1: ((1, relay, HEAD), (1, relay, HEAD))},
+        primary_interiors=good.primary_interiors,
+    )
+    monitor = validate.InvariantMonitor(mode="warn")
+    with pytest.warns(validate.InvariantWarning):
+        assert validate.check_backup_routes(cluster, bad, monitor=monitor) > 0
+    invariants = {v.invariant for v in monitor.violations}
+    assert "backup.disjointness" in invariants
+
+
+def test_validator_flags_phantom_edges():
+    cluster = diamond_cluster()
+    monitor = validate.InvariantMonitor(mode="warn")
+    bad = BackupRoutes(k=1, backups={0: ((0, 3, 1, HEAD),)})
+    with pytest.warns(validate.InvariantWarning):
+        validate.check_backup_routes(cluster, bad, monitor=monitor)
+    assert any(
+        v.invariant == "backup.path-invalid" for v in monitor.violations
+    )
+
+
+def test_strict_mode_raises_on_breach():
+    cluster = diamond_cluster()
+    bad = BackupRoutes(k=1, backups={0: ((0,),)})
+    monitor = validate.InvariantMonitor(mode="strict")
+    with pytest.raises(validate.InvariantError):
+        validate.check_backup_routes(cluster, bad, monitor=monitor)
