@@ -1,0 +1,64 @@
+"""Enforce the telemetry overhead budget from a BENCH_obs_overhead.json.
+
+Usage (what the CI obs-overhead job runs)::
+
+    python benchmarks/check_obs_overhead.py fresh/BENCH_obs_overhead.json
+
+Fails (exit 1) when the telemetry-on median exceeds ``--max-ratio`` (default
+2.0) times the telemetry-off median of the *same* run.  Comparing on/off
+within one file keeps the check host-independent: both medians move with
+the machine, the ratio doesn't.  The off median's historical trend is
+guarded separately by ``compare_benchmarks.py`` against the committed
+baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def medians(path: pathlib.Path) -> dict[str, float]:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    return {
+        bench["fullname"]: float(bench["stats"]["median"])
+        for bench in payload.get("benchmarks", [])
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", type=pathlib.Path,
+                        help="BENCH_obs_overhead.json from a fresh run")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="budget for on/off median ratio (default 2.0)")
+    args = parser.parse_args(argv)
+
+    by_name = medians(args.bench_json)
+    off = on = None
+    for name, median in by_name.items():
+        if name.endswith("test_bench_polling_telemetry_off"):
+            off = median
+        elif name.endswith("test_bench_polling_telemetry_on"):
+            on = median
+    if off is None or on is None:
+        print(f"missing off/on benchmarks in {args.bench_json}: {sorted(by_name)}",
+              file=sys.stderr)
+        return 1
+    ratio = on / off if off > 0 else float("inf")
+    print(f"telemetry off median: {off * 1e3:.3f} ms")
+    print(f"telemetry on  median: {on * 1e3:.3f} ms")
+    print(f"overhead ratio: {ratio:.2f}x (budget {args.max_ratio:.2f}x)")
+    if ratio > args.max_ratio:
+        print(f"telemetry overhead {ratio:.2f}x exceeds the "
+              f"{args.max_ratio:.2f}x budget", file=sys.stderr)
+        return 1
+    print("telemetry overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

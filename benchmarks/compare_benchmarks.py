@@ -63,9 +63,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--baseline-dir", type=pathlib.Path, default=pathlib.Path("."))
     parser.add_argument("--fresh-dir", type=pathlib.Path, required=True)
     parser.add_argument("--max-regression", type=float, default=0.30)
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        help="bench names (the <name> in BENCH_<name>.json) to compare; "
+        "default: every committed baseline",
+    )
     args = parser.parse_args(argv)
 
     baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if args.only:
+        wanted = {f"BENCH_{name}.json" for name in args.only}
+        baselines = [b for b in baselines if b.name in wanted]
     if not baselines:
         print(f"no BENCH_*.json baselines under {args.baseline_dir}", file=sys.stderr)
         return 1

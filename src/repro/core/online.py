@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from .. import obs as _obs
 from .. import validate as _validate
 from ..interference.base import CompatibilityOracle
 from ..routing.backup import BackupRoutes
@@ -169,6 +170,20 @@ class OnlinePollingScheduler:
         abandoned into ``failed_ids`` and the sensor joins ``blacklist`` so
         the MAC can exclude it from future cycles and repair routes around
         it.
+    telemetry:
+        optional :class:`repro.obs.Telemetry` collector.  ``None`` (the
+        default) uses the ambient :func:`repro.obs.current` one, which is
+        the disabled null collector unless a run activated telemetry; pass
+        :data:`repro.obs.NULL_TELEMETRY` explicitly to silence a planning
+        or estimation run that must not pollute the live trace.
+    telemetry_parent:
+        span to parent this phase's per-request spans under (the MAC
+        passes its phase span so requests nest in the cycle tree).
+    telemetry_clock:
+        ``(clock_name, now_fn)`` for span timestamps.  Defaults to the
+        scheduler's own slot cursor (clock ``"slot"``); the DES MAC passes
+        ``("sim", lambda: sim.now)`` so request spans share the simulation
+        timeline.
     backups:
         optional precomputed k-disjoint backup paths (``routing/backup.py``).
         ``None`` (the default) keeps the pre-survivability behavior bit for
@@ -192,6 +207,9 @@ class OnlinePollingScheduler:
         retry_limit: int | None = None,
         dead_after_misses: int | None = None,
         backups: BackupRoutes | None = None,
+        telemetry: "_obs.Telemetry | None" = None,
+        telemetry_parent: "_obs.Span | None" = None,
+        telemetry_clock: "tuple[str, Callable[[], float]] | None" = None,
     ):
         self.plan = plan
         self.oracle = oracle
@@ -232,6 +250,18 @@ class OnlinePollingScheduler:
         # so they are filtered here once instead of re-checked per switch.
         self.failover_events: list[FailoverEvent] = []
         self._slot_cursor = 0
+        # Telemetry: one span per poll request, opened lazily at its first
+        # scheduled attempt.  _tel_enabled folds the whole wiring into one
+        # boolean check on the hot paths.
+        self._tel = telemetry if telemetry is not None else _obs.current()
+        self._tel_enabled = self._tel.enabled
+        self._tel_parent = telemetry_parent
+        if telemetry_clock is None:
+            self._tel_clock_name = "slot"
+            self._tel_now = lambda: float(self._slot_cursor)
+        else:
+            self._tel_clock_name, self._tel_now = telemetry_clock
+        self._req_spans: dict[int, _obs.Span] = {}
         self._suspect_nodes: set[int] = set()
         self._sensor_path: dict[int, RelayingPath] = {}
         self._retry_base: dict[int, int] = {}
@@ -309,11 +339,56 @@ class OnlinePollingScheduler:
                 self.schedule.delivered[req.request_id] = t - 1
                 self._undelivered -= 1
                 self._miss_streak.pop(req.sensor, None)
+                if self._tel_enabled:
+                    self._tel_delivered(req)
         for req in due:
             if req.state is RequestState.IDLE:
                 self._lose(req)
         self._fill_slot(t, draw_loss=False)
         return self.schedule.group_at(t)
+
+    # -- telemetry ----------------------------------------------------------------
+    #
+    # One span per poll request, so a failed delivery traces end to end:
+    # attempt events per scheduled re-poll, retry/failover events, then a
+    # terminal delivered/abandoned event closing the span.  All callers
+    # guard on self._tel_enabled, keeping the disabled path branch-cheap.
+
+    def _tel_span(self, req: PollRequest) -> "_obs.Span":
+        span = self._req_spans.get(req.request_id)
+        if span is None:
+            span = self._tel.begin(
+                "request",
+                f"poll:s{req.sensor}",
+                self._tel_now(),
+                clock=self._tel_clock_name,
+                parent=self._tel_parent,
+                sensor=req.sensor,
+                request_id=req.request_id,
+                path=list(req.path),
+            )
+            self._req_spans[req.request_id] = span
+        return span
+
+    def _tel_delivered(self, req: PollRequest) -> None:
+        span = self._req_spans.get(req.request_id)
+        now = self._tel_now()
+        self._tel.add_event(span, now, "delivered", attempts=req.attempts)
+        if span is not None:
+            self._tel.finish(span, now, status="ok", attempts=req.attempts)
+        self._tel.metrics.counter("polling.delivered").inc()
+
+    def _tel_abandoned(self, req: PollRequest, reason: str) -> None:
+        span = self._req_spans.get(req.request_id)
+        now = self._tel_now()
+        self._tel.add_event(
+            span, now, "abandoned", reason=reason, attempts=req.attempts
+        )
+        if span is not None:
+            self._tel.finish(
+                span, now, status="failed", reason=reason, attempts=req.attempts
+            )
+        self._tel.metrics.counter("polling.abandoned").inc()
 
     def _lose(self, req: PollRequest) -> None:
         """Re-activate a lost request, or give it up past the retry limit.
@@ -344,10 +419,14 @@ class OnlinePollingScheduler:
                 req.state = RequestState.DELETED
                 self.failed.add(req.request_id)
                 self._undelivered -= 1
+                if self._tel_enabled:
+                    self._tel_abandoned(req, "retry-exhausted")
             else:
                 req.state = RequestState.DELETED
                 self.failed.add(req.request_id)
                 self._undelivered -= 1
+                if self._tel_enabled:
+                    self._tel_abandoned(req, "retry-exhausted")
         else:
             req.mark_lost()
             current = self._sensor_path.get(req.sensor)
@@ -357,6 +436,14 @@ class OnlinePollingScheduler:
                 req.path = current
                 self._retry_base[req.request_id] = req.attempts
             self._reinsert_active(req)
+            if self._tel_enabled:
+                self._tel.add_event(
+                    self._req_spans.get(req.request_id),
+                    self._tel_now(),
+                    "retry",
+                    attempts=req.attempts,
+                )
+                self._tel.metrics.counter("polling.retries").inc()
         self._note_miss(req.sensor, req.path)
 
     def _note_miss(
@@ -424,6 +511,27 @@ class OnlinePollingScheduler:
                 reason=reason,
             )
         )
+        if self._tel_enabled:
+            now = self._tel_now()
+            self._tel.timeline_event(
+                now,
+                "failover",
+                sensor=sensor,
+                reason=reason,
+                slot=self._slot_cursor,
+                old_path=list(old_path),
+                new_path=list(new_path),
+            )
+            for req in self.pool.requests:
+                if req.sensor == sensor:
+                    self._tel.add_event(
+                        self._req_spans.get(req.request_id),
+                        now,
+                        "failover",
+                        reason=reason,
+                        new_path=list(new_path),
+                    )
+            self._tel.metrics.counter("polling.failovers").inc()
         return True
 
     def _declare_dead(self, sensor: int) -> None:
@@ -435,11 +543,22 @@ class OnlinePollingScheduler:
         for route repair and exclusion from future cycles.
         """
         self.blacklist.add(sensor)
+        if self._tel_enabled:
+            self._tel.timeline_event(
+                self._tel_now(),
+                "blacklist",
+                sensor=sensor,
+                slot=self._slot_cursor,
+                misses=self._miss_streak.get(sensor),
+            )
+            self._tel.metrics.counter("polling.blacklisted").inc()
         for req in self.pool.requests:
             if req.sensor == sensor and req.state is not RequestState.DELETED:
                 req.state = RequestState.DELETED
                 self.failed.add(req.request_id)
                 self._undelivered -= 1
+                if self._tel_enabled:
+                    self._tel_abandoned(req, "blacklist")
         self._active_list = [r for r in self._active_list if r.sensor != sensor]
         self._in_flight = [r for r in self._in_flight if r.sensor != sensor]
 
@@ -470,6 +589,8 @@ class OnlinePollingScheduler:
                 self.schedule.delivered[req.request_id] = t - 1
                 self._undelivered -= 1
                 self._miss_streak.pop(req.sensor, None)
+                if self._tel_enabled:
+                    self._tel_delivered(req)
         for req in due:
             if req.state is RequestState.IDLE:
                 self._lose(req)
@@ -523,6 +644,14 @@ class OnlinePollingScheduler:
     def _insert(self, req: PollRequest, t: int, draw_loss: bool = True) -> None:
         req.mark_scheduled(t)
         self._in_flight.append(req)
+        if self._tel_enabled:
+            self._tel.add_event(
+                self._tel_span(req),
+                self._tel_now(),
+                "attempt",
+                slot=t,
+                attempt=req.attempts,
+            )
         # Draw loss lazily per hop now so progress is fixed for this attempt.
         ok_until = 0
         lost = False

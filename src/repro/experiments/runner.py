@@ -69,6 +69,7 @@ __all__ = [
     "code_version",
     "resolve_experiment",
     "run_trial",
+    "run_trial_with_summary",
     "run_sweep",
     "run_figure",
 ]
@@ -186,6 +187,13 @@ class SweepCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Any | None:
+        entry = self.get_entry(key)
+        return None if entry is None else entry["result"]
+
+    def get_entry(self, key: str) -> dict[str, Any] | None:
+        """The full stored payload: ``result`` plus, when the trial ran
+        under sweep telemetry, its per-trial ``telemetry`` summary — so a
+        cache hit contributes to aggregation exactly like a fresh run."""
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as fh:
@@ -202,7 +210,7 @@ class SweepCache:
             self.misses += 1
             return None
         self.hits += 1
-        return payload["result"]
+        return payload
 
     def _evict(self, path: Path) -> None:
         """Delete a corrupt entry so it degrades to a clean miss forever."""
@@ -212,7 +220,13 @@ class SweepCache:
         except OSError:  # pragma: no cover - raced with another evictor
             pass
 
-    def put(self, key: str, trial: Trial, result: Any) -> None:
+    def put(
+        self,
+        key: str,
+        trial: Trial,
+        result: Any,
+        telemetry: dict[str, Any] | None = None,
+    ) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -221,6 +235,8 @@ class SweepCache:
             "code": code_version(),
             "result": result,
         }
+        if telemetry is not None:
+            payload["telemetry"] = telemetry
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
         )
@@ -304,13 +320,21 @@ class SweepCheckpoint:
                 entries[record["key"]] = record
         return entries
 
-    def append(self, key: str, result: Any = None, failure: TrialFailure | None = None) -> None:
+    def append(
+        self,
+        key: str,
+        result: Any = None,
+        failure: TrialFailure | None = None,
+        telemetry: dict[str, Any] | None = None,
+    ) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         record: dict[str, Any] = {"key": key}
         if failure is not None:
             record["failure"] = failure.as_dict()
         else:
             record["result"] = result
+            if telemetry is not None:
+                record["telemetry"] = telemetry
         line = json.dumps(record, sort_keys=True) + "\n"
         with open(self.path, "a", encoding="utf-8") as fh:
             fh.write(line)
@@ -327,10 +351,35 @@ def run_trial(trial: Trial) -> Any:
     return _jsonify(fn(**trial.kwargs))
 
 
-def _resilient_child(conn, trial: Trial) -> None:
+def run_trial_with_summary(trial: Trial) -> tuple[Any, dict[str, Any]]:
+    """Execute one trial under a fresh telemetry collector.
+
+    Returns ``(result, summary)`` where the summary is the JSON-compatible
+    digest of :meth:`repro.obs.Telemetry.summary` plus the trial's wall
+    time — small enough to cross a worker pipe, land in the cache, and be
+    folded into the sweep-level collector with ``merge_summary``.  The
+    collector is trial-local, so fork-isolated workers never need to ship
+    the (unpicklable, PHY-laden) span tree back to the parent.
+
+    Top-level so it pickles for pool workers.
+    """
+    from .. import obs as _obs
+
+    tel = _obs.Telemetry()
+    start = time.perf_counter()
+    with _obs.use(tel):
+        result = run_trial(trial)
+    summary = tel.summary()
+    summary["wall_s"] = time.perf_counter() - start
+    return result, summary
+
+
+def _resilient_child(conn, trial: Trial, with_summary: bool = False) -> None:
     """Worker body for the self-healing executor (top-level: must pickle)."""
     try:
-        result = run_trial(trial)
+        result = (
+            run_trial_with_summary(trial) if with_summary else run_trial(trial)
+        )
     except BaseException as exc:  # noqa: BLE001 - report, parent decides
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -349,6 +398,7 @@ def _run_resilient(
     backoff_base: float,
     backoff_max: float,
     on_complete: Callable[[int, Trial, Any], None],
+    with_summary: bool = False,
 ) -> dict[int, Any]:
     """Run trials in single-trial worker processes with healing.
 
@@ -371,7 +421,11 @@ def _run_resilient(
 
     def launch(slot: int, trial: Trial, attempt: int) -> None:
         parent_conn, child_conn = ctx.Pipe(duplex=False)
-        proc = ctx.Process(target=_resilient_child, args=(child_conn, trial), daemon=True)
+        proc = ctx.Process(
+            target=_resilient_child,
+            args=(child_conn, trial, with_summary),
+            daemon=True,
+        )
         proc.start()
         child_conn.close()
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -458,6 +512,7 @@ def run_sweep(
     backoff_max: float = 8.0,
     checkpoint: str | os.PathLike | SweepCheckpoint | None = None,
     resume: bool = False,
+    telemetry: Any | None = None,
 ) -> list[Any]:
     """Run *trials*, returning their results in trial order.
 
@@ -483,6 +538,16 @@ def run_sweep(
         reload the checkpoint and skip trials it already holds.  Results
         depend only on trial kwargs, so a killed-and-resumed sweep is
         bit-for-bit identical to an uninterrupted one.
+    telemetry:
+        an enabled :class:`repro.obs.Telemetry` collector to aggregate the
+        sweep into.  Each trial then runs under its own fresh collector
+        (workers included — summaries cross the fork pipe as plain JSON)
+        and its digest is folded into this one with ``merge_summary``;
+        cached and checkpointed trials contribute the summary stored with
+        their entry, so aggregation is stable across cache hits and
+        resumes.  Adds ``runner.trials`` / ``runner.cache_hits`` /
+        ``runner.failures`` counters and a ``runner.trial_wall_s``
+        histogram.  ``None`` (the default) changes nothing.
     """
     if cache is None and cache_dir is not None:
         cache = SweepCache(cache_dir)
@@ -496,6 +561,21 @@ def run_sweep(
             else SweepCheckpoint(checkpoint)
         )
     resilient = timeout is not None or retries > 0 or journal is not None
+    collect = telemetry is not None and getattr(telemetry, "enabled", False)
+
+    def absorb(summary: dict[str, Any] | None, cached: bool = False) -> None:
+        """Fold one trial's digest into the sweep collector."""
+        if not collect:
+            return
+        metrics = telemetry.metrics
+        metrics.counter("runner.trials").inc()
+        if cached:
+            metrics.counter("runner.cache_hits").inc()
+        if summary:
+            telemetry.merge_summary(summary)
+            wall = summary.get("wall_s")
+            if wall is not None:
+                metrics.histogram("runner.trial_wall_s").observe(float(wall))
 
     results: list[Any] = [None] * len(trials)
     need_keys = cache is not None or journal is not None
@@ -507,10 +587,11 @@ def run_sweep(
     done = [False] * len(trials)
     if cache is not None:
         for idx, key in enumerate(keys):
-            hit = cache.get(key)
-            if hit is not None:
-                results[idx] = hit
+            entry = cache.get_entry(key)
+            if entry is not None:
+                results[idx] = entry["result"]
                 done[idx] = True
+                absorb(entry.get("telemetry"), cached=True)
     if journal is not None and resume:
         completed = journal.load()
         for idx, key in enumerate(keys):
@@ -519,8 +600,12 @@ def run_sweep(
             record = completed[key]
             if "failure" in record:
                 results[idx] = TrialFailure.from_dict(record["failure"])
+                if collect:
+                    telemetry.metrics.counter("runner.trials").inc()
+                    telemetry.metrics.counter("runner.failures").inc()
             else:
                 results[idx] = record["result"]
+                absorb(record.get("telemetry"), cached=True)
             done[idx] = True
 
     pending = [(idx, trials[idx]) for idx in range(len(trials)) if not done[idx]]
@@ -530,11 +615,18 @@ def run_sweep(
             if isinstance(outcome, TrialFailure):
                 if journal is not None:
                     journal.append(keys[idx], failure=outcome)
+                if collect:
+                    telemetry.metrics.counter("runner.trials").inc()
+                    telemetry.metrics.counter("runner.failures").inc()
                 return
+            summary: dict[str, Any] | None = None
+            if collect:
+                outcome, summary = outcome
+                absorb(summary)
             if cache is not None:
-                cache.put(keys[idx], trial, outcome)
+                cache.put(keys[idx], trial, outcome, telemetry=summary)
             if journal is not None:
-                journal.append(keys[idx], result=outcome)
+                journal.append(keys[idx], result=outcome, telemetry=summary)
 
         fresh_by_idx = _run_resilient(
             pending,
@@ -544,23 +636,31 @@ def run_sweep(
             backoff_base=backoff_base,
             backoff_max=backoff_max,
             on_complete=on_complete,
+            with_summary=collect,
         )
         for idx, outcome in fresh_by_idx.items():
+            if collect and not isinstance(outcome, TrialFailure):
+                outcome = outcome[0]
             results[idx] = outcome
         return results
 
     todo = [trial for _, trial in pending]
+    runner = run_trial_with_summary if collect else run_trial
     if processes is not None and processes > 1 and len(todo) > 1:
         ctx = get_context("fork")
         with ctx.Pool(processes=processes) as pool:
-            fresh = pool.map(run_trial, todo)
+            fresh = pool.map(runner, todo)
     else:
-        fresh = [run_trial(trial) for trial in todo]
+        fresh = [runner(trial) for trial in todo]
 
-    for (idx, trial), result in zip(pending, fresh):
-        results[idx] = result
+    for (idx, trial), outcome in zip(pending, fresh):
+        summary = None
+        if collect:
+            outcome, summary = outcome
+            absorb(summary)
+        results[idx] = outcome
         if cache is not None:
-            cache.put(keys[idx], trial, result)
+            cache.put(keys[idx], trial, outcome, telemetry=summary)
     return results
 
 
@@ -575,6 +675,7 @@ def run_figure(
     retries: int = 0,
     checkpoint: str | os.PathLike | SweepCheckpoint | None = None,
     resume: bool = False,
+    telemetry: Any | None = None,
     **common: Any,
 ) -> list[dict]:
     """Sweep one grid parameter of a figure in parallel; flatten in grid order.
@@ -602,6 +703,7 @@ def run_figure(
         retries=retries,
         checkpoint=checkpoint,
         resume=resume,
+        telemetry=telemetry,
     )
     rows: list[dict] = []
     for value, result in zip(grid_values, results):

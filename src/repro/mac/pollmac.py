@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs as _obs
 from .. import validate as _validate
 from ..core.ack import plan_ack_collection
 from ..core.online import OnlinePollingScheduler
@@ -403,6 +404,16 @@ class PollingClusterMac:
         self._delivered_packets: list[AppPacket] = []
         self.cycle_stats: list[CycleStats] = []
         self.process: Process | None = None
+        # Telemetry (repro.obs): the ambient collector is cached once and
+        # every emission below guards on _tel_enabled, so runs without an
+        # active collector stay bit-for-bit identical to the untraced MAC.
+        self._tel = _obs.current()
+        self._tel_enabled = self._tel.enabled
+        self._cycle_span: "_obs.Span | None" = None
+        if self._tel_enabled:
+            self._tel.metrics.gauge("mac.max_group_size").set(
+                self.oracle.max_group_size
+            )
 
     def _compute_backups(self) -> BackupRoutes | None:
         if self.backup_k <= 0:
@@ -528,6 +539,24 @@ class PollingClusterMac:
             self.phy.medium.bitrate, self.sizes, payload_bytes
         )
 
+    def _energy_snapshot(self) -> list[float]:
+        """Exact per-radio consumed joules at ``sim.now`` without finalizing.
+
+        Meters integrate lazily on state changes; the tail since the last
+        change is added here read-only, so mid-run snapshots reconcile with
+        the post-``finalize()`` figures of :mod:`repro.metrics.energy`.
+        """
+        now = self.sim.now
+        out: list[float] = []
+        for trx in self.phy.transceivers:
+            meter = trx.meter
+            out.append(
+                meter.consumed_j
+                + meter.params.power(meter.state)
+                * max(0.0, now - meter.last_change)
+            )
+        return out
+
     def _run_phase(self, phase: str, plan: RoutingPlan, payload_bytes: int):
         """Generator: drive one polling phase slot by slot over the radio.
 
@@ -535,6 +564,19 @@ class PollingClusterMac:
         scheduler carries the failed-request ids and per-phase blacklist the
         recovery layer mines for evidence.
         """
+        tel_enabled = self._tel_enabled
+        phase_span = None
+        if tel_enabled:
+            phase_span = self._tel.begin(
+                "phase",
+                phase,
+                self.sim.now,
+                parent=self._cycle_span,
+                cluster=self.cluster_id,
+                requests=sum(
+                    int(plan.cluster.packets[s]) for s in plan.paths
+                ),
+            )
         scheduler = OnlinePollingScheduler(
             plan,
             self.oracle,
@@ -546,6 +588,8 @@ class PollingClusterMac:
             # would need to fail over.  Evidence mining still sees the
             # death — every failover event's abandoned path is implicated.
             backups=self.backups,
+            telemetry_parent=phase_span,
+            telemetry_clock=("sim", lambda: self.sim.now),
         )
         slot_time = self._slot_time(payload_bytes)
         self._arrived_requests = set()
@@ -557,6 +601,13 @@ class PollingClusterMac:
             group = scheduler.external_step(t, arrived)
             if not group and scheduler.all_done:
                 break  # last arrivals just resolved; no slot needed
+            if tel_enabled:
+                self._tel.add_event(
+                    phase_span, self.sim.now, "slot", slot=t, group=len(group)
+                )
+                self._tel.metrics.histogram("mac.group_size").observe(
+                    float(len(group))
+                )
             instructions = [
                 PollInstruction(
                     sender=tx.sender,
@@ -590,6 +641,14 @@ class PollingClusterMac:
             hint=f"cluster {self.cluster_id} {phase} phase, "
             f"{len(scheduler.pool.requests)} requests",
         )
+        if tel_enabled:
+            self._tel.finish(
+                phase_span,
+                self.sim.now,
+                slots=t,
+                retransmissions=retx,
+                failed=len(scheduler.failed),
+            )
         return t, retx, scheduler
 
     def _run_sectored(self, counts, cycle_start: float):
@@ -612,7 +671,11 @@ class PollingClusterMac:
             if not plan.paths:
                 jobs.append((sec, None, 0))
                 continue
-            nominal = OnlinePollingScheduler(plan, self.oracle).run().slots_elapsed
+            # Planning-only run: NULL_TELEMETRY keeps the estimate's phantom
+            # requests out of the live trace.
+            nominal = OnlinePollingScheduler(
+                plan, self.oracle, telemetry=_obs.NULL_TELEMETRY
+            ).run().slots_elapsed
             budget = int(np.ceil(nominal * self.slack_factor)) + 4
             jobs.append((sec, plan, budget))
         # Announce personal wake times (sector 0 starts right away).
@@ -733,6 +796,16 @@ class PollingClusterMac:
         to ``repair_log`` exactly which sensors it cut off and the packets
         pending at them, so dropped demand reconciles packet-for-packet.
         """
+        repair_span = None
+        if self._tel_enabled:
+            repair_span = self._tel.begin(
+                "repair",
+                "route-repair",
+                self.sim.now,
+                parent=self._cycle_span,
+                cluster=self.cluster_id,
+                blacklisted=sorted(self.blacklisted),
+            )
         previously_unreachable = set(self.unreachable)
         self.active_cluster = prune_dead_nodes(self.phy.cluster, self.blacklisted)
         hops = self.active_cluster.min_hop_counts()
@@ -769,6 +842,19 @@ class PollingClusterMac:
 
             self.partition = partition_into_sectors(self.routing, oracle=self.oracle)
         self.route_repairs += 1
+        if repair_span is not None:
+            self._tel.finish(
+                repair_span,
+                self.sim.now,
+                unreachable=sorted(self.unreachable),
+                newly_unreachable=sorted(
+                    self.unreachable - previously_unreachable
+                ),
+            )
+            self._tel.metrics.counter("mac.route_repairs").inc()
+            self._tel.metrics.histogram("mac.repair_unreachable").observe(
+                float(len(self.unreachable))
+            )
 
     def _backup_ack_sweep(self, covered: set[int]):
         """Generator: one extra ack round over backup paths.
@@ -809,6 +895,19 @@ class PollingClusterMac:
             offered = sum(s.pending_count for s in self.sensors)
             delivered_before = self.packets_delivered
             self._phase_schedulers = []
+            cycle_span = None
+            energy_before: list[float] = []
+            if self._tel_enabled:
+                energy_before = self._energy_snapshot()
+                cycle_span = self._tel.begin(
+                    "cycle",
+                    f"cycle:{cycle}",
+                    cycle_start,
+                    parent=self._tel.root,
+                    cluster=self.cluster_id,
+                    cycle=cycle,
+                )
+                self._cycle_span = cycle_span
             # 1. wakeup broadcast (sensors are awake: they woke on schedule).
             wakeup_payload: dict = {"cycle": cycle}
             if self.blacklisted:
@@ -888,6 +987,39 @@ class PollingClusterMac:
                     retransmissions=retransmissions,
                 )
             )
+            if cycle_span is not None:
+                stats = self.cycle_stats[-1]
+                energy_delta = [
+                    after - before
+                    for before, after in zip(
+                        energy_before, self._energy_snapshot()
+                    )
+                ]
+                metrics = self._tel.metrics
+                metrics.counter("mac.cycles").inc()
+                metrics.counter("mac.ack_slots").inc(ack_slots)
+                metrics.counter("mac.data_slots").inc(data_slots)
+                metrics.counter("mac.packets_delivered").inc(
+                    stats.packets_delivered
+                )
+                metrics.counter("mac.retransmissions").inc(retransmissions)
+                self._tel.finish(
+                    cycle_span,
+                    sim.now,
+                    delivered=stats.packets_delivered,
+                    offered=offered,
+                    ack_slots=ack_slots,
+                    data_slots=data_slots,
+                    retransmissions=retransmissions,
+                )
+                self._tel.snapshot_cycle(
+                    cluster=self.cluster_id,
+                    cycle=cycle,
+                    t=sim.now,
+                    duty_time=stats.duty_time,
+                    energy_delta_j=energy_delta,
+                )
+                self._cycle_span = None
             # Wait out the rest of the cycle (the head may idle or serve the
             # second-layer network; sensors are asleep).
             if next_wake > sim.now:

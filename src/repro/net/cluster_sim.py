@@ -9,10 +9,13 @@ time, throughput and energy.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
+from .. import obs as _obs
 from .. import validate as _validate
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
@@ -80,6 +83,12 @@ class PollingSimConfig:
     # in-cycle failover.  0 (the default) is the exact pre-survivability
     # code path, bit for bit.
     backup_k: int = 0
+    # Telemetry (repro.obs).  False (the default) is the exact untraced
+    # code path, bit for bit — unless a collector was already activated
+    # around the call with ``obs.use(...)``, which this flag cannot turn
+    # off.  True creates a run-local collector and attaches it to
+    # ``PollingSimResult.telemetry``.
+    telemetry: bool = False
 
 
 @dataclass
@@ -98,6 +107,9 @@ class PollingSimResult:
     """Invariant violations the runtime monitor recorded during this run
     (always empty for a healthy run; populated in ``warn`` mode — ``strict``
     raises instead, see :mod:`repro.validate`)."""
+    telemetry: "_obs.Telemetry | None" = None
+    """The run's telemetry collector (``config.telemetry=True`` or an
+    ambient ``obs.use(...)`` scope); ``None`` for untraced runs."""
 
     @property
     def degradation(self) -> DegradationReport:
@@ -156,85 +168,132 @@ def run_polling_simulation(
     config: PollingSimConfig = PollingSimConfig(),
     deployment: Deployment | None = None,
 ) -> PollingSimResult:
-    """Run the full DES polling stack and collect the paper's metrics."""
+    """Run the full DES polling stack and collect the paper's metrics.
+
+    Telemetry: with ``config.telemetry=True`` a run-local
+    :class:`repro.obs.Telemetry` collector is activated around the run and
+    returned on :attr:`PollingSimResult.telemetry`.  Alternatively an
+    ambient collector activated by the caller (``with obs.use(tel): ...``)
+    is picked up and returned the same way — that is how sweeps aggregate
+    several runs into one collector.
+    """
     monitor = _validate.MONITOR
     mark = monitor.mark()
-    sim = Simulator()
-    dep = deployment or uniform_square(
-        config.n_sensors,
-        seed=config.seed,
-        side=config.side_m,
-        comm_range=config.sensor_range_m,
-    )
-    geo_cluster = Cluster.from_deployment(dep)
-    phy = build_cluster_phy(
-        sim,
-        geo_cluster,
-        sensor_range_m=config.sensor_range_m,
-        bitrate=config.bitrate,
-        energy=config.energy,
-        frame_error_rate=config.frame_error_rate,
-        error_seed=config.seed,
-    )
-    # Discover connectivity from the radio, then route on what was heard.
-    phy.cluster = cluster_from_phy(geo_cluster, phy)
-    # Fault injection arms first so bursty-link loss shapes the run from
-    # t=0; an empty/absent plan schedules nothing and draws no RNG, keeping
-    # the fault-free path bit-for-bit identical.
-    injector: FaultInjector | None = None
-    faulted = config.fault_plan is not None and not config.fault_plan.is_empty
-    if faulted:
-        injector = FaultInjector(sim, phy, config.fault_plan, base_seed=config.seed)
-    mac = PollingClusterMac(
-        phy,
-        cycle_length=config.cycle_length,
-        max_group_size=config.max_group_size,
-        timings=config.timings,
-        use_sectors=config.use_sectors,
-        retry_limit=config.retry_limit,
-        failure_detection=faulted,
-        dead_after_misses=config.dead_after_misses,
-        backup_k=config.backup_k,
-    )
-    sources = attach_cbr_sources(
-        sim,
-        mac.sensors,
-        rate_bps=config.rate_bps,
-        packet_bytes=config.packet_bytes,
-        seed=config.seed,
-    )
-    mac.start(config.n_cycles)
-    sim.run(until=config.n_cycles * config.cycle_length)
-    phy.finalize()
-    packets_generated = sum(s.generated for s in sources)
-    if monitor.enabled:
-        hint = (
-            f"PollingSimConfig(seed={config.seed}, n_sensors={config.n_sensors}, "
-            f"n_cycles={config.n_cycles}, faults={'yes' if faulted else 'no'})"
+    own_tel = _obs.Telemetry() if config.telemetry else None
+    scope = nullcontext() if own_tel is None else _obs.use(own_tel)
+    with scope:
+        tel = _obs.current()
+        traced = tel.enabled
+        run_span = None
+        if traced:
+            run_span = tel.begin(
+                "run",
+                "polling-sim",
+                perf_counter(),
+                clock="wall",
+                seed=config.seed,
+                n_sensors=config.n_sensors,
+                n_cycles=config.n_cycles,
+                faulted=config.fault_plan is not None
+                and not config.fault_plan.is_empty,
+            )
+            # Cycle spans parent on the collector's root; point it at this
+            # run so repeated runs under one ambient collector nest right.
+            tel.root = run_span
+        sim = Simulator()
+        if traced:
+            sim.telemetry = tel
+        dep = deployment or uniform_square(
+            config.n_sensors,
+            seed=config.seed,
+            side=config.side_m,
+            comm_range=config.sensor_range_m,
         )
-        # End-to-end conservation at the head: the delivered application
-        # stream is duplicate-free and never exceeds what sensors generated.
-        _validate.check_delivered_stream(
-            ((p.origin, p.seq) for p in mac.delivered_packets()),
-            sim_time=sim.now,
-            hint=hint,
+        geo_cluster = Cluster.from_deployment(dep)
+        phy = build_cluster_phy(
+            sim,
+            geo_cluster,
+            sensor_range_m=config.sensor_range_m,
+            bitrate=config.bitrate,
+            energy=config.energy,
+            frame_error_rate=config.frame_error_rate,
+            error_seed=config.seed,
         )
-        if mac.packets_delivered > packets_generated:
-            monitor.record(
-                "mac.delivery-conservation",
-                f"head collected {mac.packets_delivered} packets but sensors "
-                f"only generated {packets_generated}",
+        # Discover connectivity from the radio, then route on what was heard.
+        phy.cluster = cluster_from_phy(geo_cluster, phy)
+        # Fault injection arms first so bursty-link loss shapes the run from
+        # t=0; an empty/absent plan schedules nothing and draws no RNG, keeping
+        # the fault-free path bit-for-bit identical.
+        injector: FaultInjector | None = None
+        faulted = config.fault_plan is not None and not config.fault_plan.is_empty
+        if faulted:
+            injector = FaultInjector(sim, phy, config.fault_plan, base_seed=config.seed)
+        mac = PollingClusterMac(
+            phy,
+            cycle_length=config.cycle_length,
+            max_group_size=config.max_group_size,
+            timings=config.timings,
+            use_sectors=config.use_sectors,
+            retry_limit=config.retry_limit,
+            failure_detection=faulted,
+            dead_after_misses=config.dead_after_misses,
+            backup_k=config.backup_k,
+        )
+        sources = attach_cbr_sources(
+            sim,
+            mac.sensors,
+            rate_bps=config.rate_bps,
+            packet_bytes=config.packet_bytes,
+            seed=config.seed,
+        )
+        mac.start(config.n_cycles)
+        sim.run(until=config.n_cycles * config.cycle_length)
+        phy.finalize()
+        packets_generated = sum(s.generated for s in sources)
+        if monitor.enabled:
+            hint = (
+                f"PollingSimConfig(seed={config.seed}, n_sensors={config.n_sensors}, "
+                f"n_cycles={config.n_cycles}, faults={'yes' if faulted else 'no'})"
+            )
+            # End-to-end conservation at the head: the delivered application
+            # stream is duplicate-free and never exceeds what sensors generated.
+            _validate.check_delivered_stream(
+                ((p.origin, p.seq) for p in mac.delivered_packets()),
                 sim_time=sim.now,
                 hint=hint,
             )
-    return PollingSimResult(
-        config=config,
-        phy=phy,
-        mac=mac,
-        elapsed=sim.now,
-        packets_generated=packets_generated,
-        packets_delivered=mac.packets_delivered,
-        active_fraction=phy.sensor_active_fraction(),
-        injector=injector,
-        violations=monitor.since(mark),
-    )
+            if mac.packets_delivered > packets_generated:
+                monitor.record(
+                    "mac.delivery-conservation",
+                    f"head collected {mac.packets_delivered} packets but sensors "
+                    f"only generated {packets_generated}",
+                    sim_time=sim.now,
+                    hint=hint,
+                )
+        if traced:
+            # Post-finalize ground truth the inspector reconciles against
+            # metrics/energy.py (sensors in local order, head last).
+            tel.extras["energy_per_radio_j"] = [
+                trx.meter.consumed_j for trx in phy.transceivers
+            ]
+            tel.extras["seed"] = config.seed
+            tel.extras["n_sensors"] = config.n_sensors
+            tel.finish(
+                run_span,
+                perf_counter(),
+                sim_time=sim.now,
+                generated=packets_generated,
+                delivered=mac.packets_delivered,
+            )
+        return PollingSimResult(
+            config=config,
+            phy=phy,
+            mac=mac,
+            elapsed=sim.now,
+            packets_generated=packets_generated,
+            packets_delivered=mac.packets_delivered,
+            active_fraction=phy.sensor_active_fraction(),
+            injector=injector,
+            violations=monitor.since(mark),
+            telemetry=tel if traced else None,
+        )

@@ -21,10 +21,13 @@ All three run the full per-cluster polling MAC; the shared
 from __future__ import annotations
 
 import dataclasses
+from contextlib import nullcontext
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
+from .. import obs as _obs
 from ..core.online import OnlinePollingScheduler
 from ..mac.base import (
     GROUND_SENSOR_PROPAGATION,
@@ -81,6 +84,10 @@ class MultiClusterConfig:
     head_crashes: tuple[tuple[int, float], ...] = ()
     beacon_interval: float = 1.0
     beacon_miss_limit: int = 3
+    # Telemetry (repro.obs): False is the exact untraced path, bit for bit
+    # (an ambient obs.use(...) scope still traces); True attaches a
+    # run-local collector to ``MultiClusterResult.telemetry``.
+    telemetry: bool = False
 
 
 @dataclass(frozen=True)
@@ -105,6 +112,9 @@ class MultiClusterResult:
     coordinator: "HeadFailoverCoordinator | None" = None
     """Present only when head crashes or failover were armed; carries the
     crash/detection/adoption timeline for availability analysis."""
+    telemetry: "_obs.Telemetry | None" = None
+    """The run's telemetry collector (``config.telemetry=True`` or an
+    ambient ``obs.use(...)`` scope); ``None`` for untraced runs."""
 
     @property
     def packets_delivered(self) -> int:
@@ -197,6 +207,7 @@ class HeadFailoverCoordinator:
             return
         self.crashed.append((h, self.sim.now))
         mac.halt()
+        _obs.current().timeline_event(self.sim.now, "head-crash", head=h)
 
     # -- detection ---------------------------------------------------------------
 
@@ -226,6 +237,12 @@ class HeadFailoverCoordinator:
             for a in range(self.config.n_heads)
             if a != dead_head and not self.macs[a].halted
         ]
+        _obs.current().timeline_event(
+            self.sim.now,
+            "head-declared-dead",
+            head=dead_head,
+            orphans=len(orphans),
+        )
         if not orphans or not live:
             return  # nothing to re-home / nobody left to take them
         groups: dict[int, list[int]] = {}
@@ -321,14 +338,64 @@ class HeadFailoverCoordinator:
                 sensors=tuple(orphan_globals),
             )
         )
+        _obs.current().timeline_event(
+            self.sim.now,
+            "head-adoption",
+            head=dead_head,
+            adopter=adopter,
+            sensors=list(orphan_globals),
+        )
 
 
 def run_multicluster_simulation(
     config: MultiClusterConfig = MultiClusterConfig(),
+    tracer: Tracer | None = None,
 ) -> MultiClusterResult:
+    """Run the shared-medium multi-cluster stack.
+
+    ``tracer`` lets callers subscribe to PHY trace events before the run;
+    it is entered via :meth:`Tracer.run_scope`, which resets per-run
+    counters/records so a tracer reused across trials never leaks counts
+    from one run into the next (subscribers stay registered).
+    """
     if config.mode not in ("channels", "token", "uncoordinated"):
         raise ValueError(f"unknown mode {config.mode!r}")
+    if tracer is None:
+        tracer = Tracer()
+    own_tel = _obs.Telemetry() if config.telemetry else None
+    scope = nullcontext() if own_tel is None else _obs.use(own_tel)
+    with scope, tracer.run_scope():
+        tel = _obs.current()
+        run_span = None
+        if tel.enabled:
+            run_span = tel.begin(
+                "run",
+                "multicluster-sim",
+                perf_counter(),
+                clock="wall",
+                seed=config.seed,
+                n_heads=config.n_heads,
+                mode=config.mode,
+            )
+            tel.root = run_span
+        result = _run_multicluster(config, tracer, tel if tel.enabled else None)
+        if tel.enabled:
+            tel.finish(
+                run_span,
+                perf_counter(),
+                sim_time=result.elapsed,
+                delivered=result.packets_delivered,
+                collisions=result.collisions,
+            )
+            result.telemetry = tel
+        return result
+
+
+def _run_multicluster(
+    config: MultiClusterConfig, tracer: Tracer, tel: "_obs.Telemetry | None"
+) -> MultiClusterResult:
     sim = Simulator()
+    sim.telemetry = tel
     streams = RngStreams(config.seed)
     field_rng = streams.get("field")
     sensors = field_rng.uniform(0, config.field_m, size=(config.n_sensors, 2))
@@ -336,7 +403,6 @@ def run_multicluster_simulation(
     net = form_clusters(sensors, heads, comm_range=config.sensor_range_m)
 
     # --- one shared medium over every sensor and every head -------------------
-    tracer = Tracer()
     all_positions = np.vstack([sensors, heads])
     n_total = all_positions.shape[0]
     prop = GROUND_SENSOR_PROPAGATION
@@ -400,9 +466,12 @@ def run_multicluster_simulation(
         )
         macs.append(mac)
         all_agents.append(mac.sensors)
-        # nominal duty estimate for token windows
+        # nominal duty estimate for token windows (planning-only run: keep
+        # its phantom requests out of the live trace)
         plan = mac.routing.routing_plan()
-        nominal_slots = OnlinePollingScheduler(plan, mac.oracle).run().slots_elapsed
+        nominal_slots = OnlinePollingScheduler(
+            plan, mac.oracle, telemetry=_obs.NULL_TELEMETRY
+        ).run().slots_elapsed
         slot = MacTimings().poll_slot_time(
             config.bitrate, DEFAULT_SIZES, DEFAULT_SIZES.data
         )

@@ -1,0 +1,56 @@
+"""repro.obs — the unified telemetry layer (DESIGN.md §10).
+
+Causal polling-cycle tracing, a typed metrics registry, wall-clock
+profiling, and trace export for the whole polling stack.  Activation is
+explicit and scoped::
+
+    from repro import obs
+    from repro.net.cluster_sim import PollingSimConfig, run_polling_simulation
+
+    result = run_polling_simulation(PollingSimConfig(telemetry=True))
+    obs.export_chrome_trace(result.telemetry, "run.trace.json")
+    obs.export_jsonl(result.telemetry, "run.jsonl")
+    # then: python -m repro.obs.inspect run.jsonl
+
+or, for code that doesn't thread a config through (the schedule-level
+experiments, custom sweeps)::
+
+    with obs.use(obs.Telemetry()) as tel:
+        fig2.run()
+    tel.metrics.snapshot()
+
+Disabled telemetry is free by design: every wired-in layer caches
+:func:`current` once and guards emission behind a single ``enabled``
+check, so runs without an active collector are bit-for-bit identical to
+the pre-telemetry code path (verified by tests and the ``obs-overhead``
+benchmark gate).
+"""
+
+from .export import export_chrome_trace, export_jsonl, load_jsonl
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import profile_span
+from .telemetry import (
+    NULL_TELEMETRY,
+    Span,
+    SpanEvent,
+    Telemetry,
+    current,
+    use,
+)
+
+__all__ = [
+    "Telemetry",
+    "Span",
+    "SpanEvent",
+    "NULL_TELEMETRY",
+    "current",
+    "use",
+    "profile_span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "export_chrome_trace",
+    "export_jsonl",
+    "load_jsonl",
+]

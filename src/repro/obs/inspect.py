@@ -1,0 +1,226 @@
+"""Trace-file summarizer: ``python -m repro.obs.inspect trace.jsonl``.
+
+Reads a JSONL trace written by :func:`repro.obs.export_jsonl` and prints
+
+* per-phase simulation time (where the duty cycle's seconds went),
+* wall-clock profiling totals (where the *solver's* seconds went),
+* the top individual spans by duration,
+* per-radio energy totals (reconciling with :mod:`repro.metrics.energy`),
+* the violation / failover / blacklist / repair timeline, and
+* the causal chain of every failed poll request (``--failures``),
+
+so a regression or a TTR outlier can be diagnosed from the trace file
+alone, without rerunning the simulation under print-debugging.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import defaultdict
+from typing import Any
+
+from .export import load_jsonl
+
+__all__ = ["summarize", "failure_chains", "main"]
+
+_TIMELINE_EVENTS = (
+    "invariant-violation",
+    "failover",
+    "blacklist",
+    "head-crash",
+    "head-declared-dead",
+    "head-adoption",
+)
+
+
+def _fmt_time(clock: str, seconds: float) -> str:
+    if clock == "slot":
+        return f"{seconds:.0f} slots"
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    return f"{seconds * 1e3:.3f} ms"
+
+
+def _span_duration(span: dict[str, Any]) -> float:
+    end = span.get("end")
+    return 0.0 if end is None else end - span["start"]
+
+
+def per_phase_time(spans: list[dict[str, Any]]) -> dict[str, dict[str, float]]:
+    """``{phase name: {"count", "dur"}}`` over sim-clock phase spans."""
+    out: dict[str, dict[str, float]] = defaultdict(lambda: {"count": 0, "dur": 0.0})
+    for span in spans:
+        if span["kind"] == "phase" and span["clock"] == "sim":
+            slot = out[span["name"]]
+            slot["count"] += 1
+            slot["dur"] += _span_duration(span)
+    return dict(out)
+
+
+def profile_time(spans: list[dict[str, Any]]) -> dict[str, dict[str, float]]:
+    """``{profile name: {"count", "dur"}}`` over wall-clock spans."""
+    out: dict[str, dict[str, float]] = defaultdict(lambda: {"count": 0, "dur": 0.0})
+    for span in spans:
+        if span["clock"] == "wall":
+            slot = out[span["name"]]
+            slot["count"] += 1
+            slot["dur"] += _span_duration(span)
+    return dict(out)
+
+
+def failure_chains(trace: dict[str, Any]) -> list[dict[str, Any]]:
+    """The end-to-end story of every failed poll request.
+
+    Each chain links the request span (with its retry/failover events) to
+    the blacklist event that wrote its sensor off and the repair span(s)
+    that routed around the death — the acceptance path of DESIGN.md §10.
+    """
+    spans = trace["spans"]
+    blacklist_events: list[dict[str, Any]] = []
+    for span in spans:
+        for ev in span.get("events", ()):
+            if ev["name"] == "blacklist":
+                blacklist_events.append(ev)
+    blacklist_events.extend(
+        e for e in trace["timeline"] if e["name"] == "blacklist"
+    )
+    repairs = [s for s in spans if s["kind"] == "repair"]
+    chains = []
+    for span in spans:
+        if span["kind"] != "request" or span["attrs"].get("status") != "failed":
+            continue
+        sensor = span["attrs"].get("sensor")
+        linked_blacklists = [
+            e for e in blacklist_events if e["attrs"].get("sensor") == sensor
+        ]
+        linked_repairs = [
+            r
+            for r in repairs
+            if sensor in r["attrs"].get("blacklisted", ())
+            or sensor in r["attrs"].get("unreachable", ())
+        ]
+        chains.append(
+            {
+                "request": span,
+                "sensor": sensor,
+                "events": span.get("events", []),
+                "blacklist": linked_blacklists,
+                "repairs": linked_repairs,
+            }
+        )
+    return chains
+
+
+def summarize(
+    trace: dict[str, Any], top: int = 10, show_failures: bool = True
+) -> str:
+    """Render the human-readable report for one loaded trace."""
+    lines: list[str] = []
+    spans = trace["spans"]
+    meta = trace.get("meta", {})
+    extras = meta.get("extras", {})
+
+    lines.append(f"trace: {len(spans)} spans, {len(trace['timeline'])} timeline "
+                 f"events, {len(trace['cycles'])} cycle snapshots")
+
+    phases = per_phase_time(spans)
+    if phases:
+        lines.append("\nper-phase simulation time:")
+        total = sum(v["dur"] for v in phases.values())
+        for name, slot in sorted(phases.items(), key=lambda kv: -kv[1]["dur"]):
+            share = slot["dur"] / total if total > 0 else 0.0
+            lines.append(
+                f"  {name:<12} {slot['dur']:>10.4f} s  "
+                f"x{int(slot['count']):<5} {share:6.1%}"
+            )
+        lines.append(f"  {'total':<12} {total:>10.4f} s")
+
+    profiles = profile_time(spans)
+    if profiles:
+        lines.append("\nwall-clock profiling:")
+        for name, slot in sorted(profiles.items(), key=lambda kv: -kv[1]["dur"]):
+            lines.append(
+                f"  {name:<28} {slot['dur'] * 1e3:>10.3f} ms  x{int(slot['count'])}"
+            )
+
+    ranked = sorted(spans, key=_span_duration, reverse=True)[:top]
+    if ranked:
+        lines.append(f"\ntop {len(ranked)} spans by duration:")
+        for span in ranked:
+            lines.append(
+                f"  #{span['span_id']:<5} {span['kind']:<8} {span['name']:<20} "
+                f"{_fmt_time(span['clock'], _span_duration(span))}"
+            )
+
+    energy = extras.get("energy_per_radio_j")
+    if energy is not None:
+        lines.append("\nper-radio energy (J):")
+        for i, joules in enumerate(energy):
+            label = "head" if i == len(energy) - 1 else f"s{i}"
+            lines.append(f"  {label:<6} {joules:.9f}")
+        lines.append(f"  total  {sum(energy):.9f}")
+
+    notable = [e for e in trace["timeline"] if e["name"] in _TIMELINE_EVENTS]
+    for span in spans:
+        for ev in span.get("events", ()):
+            if ev["name"] in _TIMELINE_EVENTS:
+                notable.append(ev)
+    repair_spans = [s for s in spans if s["kind"] == "repair"]
+    if notable or repair_spans:
+        lines.append("\nviolation / failover / repair timeline:")
+        rows = [(e["time"], e["name"], e.get("attrs", {})) for e in notable]
+        rows += [
+            (s["start"], "repair", s["attrs"]) for s in repair_spans
+        ]
+        for t, name, attrs in sorted(rows, key=lambda r: r[0]):
+            brief = ", ".join(
+                f"{k}={v}" for k, v in attrs.items()
+                if k in ("invariant", "sensor", "reason", "blacklisted",
+                         "unreachable", "head", "adopter", "orphans", "nodes")
+            )
+            lines.append(f"  t={t:>10.4f}  {name:<20} {brief}")
+
+    if show_failures:
+        chains = failure_chains(trace)
+        if chains:
+            lines.append(f"\nfailed poll requests ({len(chains)}):")
+            for chain in chains:
+                req = chain["request"]
+                lines.append(
+                    f"  request #{req['attrs'].get('request_id')} "
+                    f"(sensor {chain['sensor']}, span #{req['span_id']}):"
+                )
+                for ev in chain["events"]:
+                    lines.append(f"    t={ev['time']:>10.4f}  {ev['name']}")
+                for ev in chain["blacklist"]:
+                    lines.append(
+                        f"    t={ev['time']:>10.4f}  blacklist declared"
+                    )
+                for rep in chain["repairs"]:
+                    lines.append(
+                        f"    t={rep['start']:>10.4f}  repair span #{rep['span_id']} "
+                        f"(blacklisted={rep['attrs'].get('blacklisted')})"
+                    )
+        else:
+            lines.append("\nno failed poll requests.")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.inspect", description=__doc__
+    )
+    parser.add_argument("trace", help="JSONL trace file from export_jsonl")
+    parser.add_argument("--top", type=int, default=10,
+                        help="how many top spans to list (default 10)")
+    parser.add_argument("--no-failures", action="store_true",
+                        help="skip the failed-request causal chains")
+    args = parser.parse_args(argv)
+    trace = load_jsonl(args.trace)
+    print(summarize(trace, top=args.top, show_failures=not args.no_failures))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import validate as _validate
+from ..obs import profile_span as _profile_span
 from ..topology.cluster import HEAD, Cluster
 from .maxflow import INF, FlowNetwork
 from .minmax import FlowSolution
@@ -179,6 +180,16 @@ def compute_backup_routes(solution: FlowSolution, k: int) -> BackupRoutes:
         raise ValueError(f"k must be >= 0, got {k}")
     if k == 0 or not solution.flow_paths:
         return BackupRoutes(k=k)
+    with _profile_span(
+        "routing.backups",
+        histogram="routing.backups_wall_s",
+        k=k,
+        sensors=len(solution.flow_paths),
+    ):
+        return _compute_backup_routes(solution, k)
+
+
+def _compute_backup_routes(solution: FlowSolution, k: int) -> BackupRoutes:
     cluster = solution.cluster
     net, source_edges, through_edges = _build_unit_network(cluster)
     backups: dict[int, tuple[RelayingPath, ...]] = {}

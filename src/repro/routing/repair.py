@@ -21,6 +21,7 @@ import numpy as np
 
 from typing import Iterable
 
+from ..obs import profile_span as _profile_span
 from ..topology.cluster import Cluster
 from .minmax import FlowSolution, solve_min_max_load
 
@@ -129,25 +130,28 @@ def repair_routing(
     (``engine``/``method`` are forwarded to
     :func:`~repro.routing.minmax.solve_min_max_load`).
     """
-    pruned = prune_dead_nodes(cluster, set(dead))
-    hops = pruned.min_hop_counts()
-    uncovered = frozenset(
-        i
-        for i in range(pruned.n_sensors)
-        if i not in dead and not np.isfinite(hops[i])
-    )
-    dropped_demand = {i: int(pruned.packets[i]) for i in sorted(uncovered)}
-    if uncovered:
-        packets = pruned.packets.copy()
-        packets[sorted(uncovered)] = 0
-        pruned = pruned.with_packets(packets)
-    solution = solve_min_max_load(
-        pruned, energy_aware=energy_aware, engine=engine, method=method
-    )
-    return RepairResult(
-        cluster=pruned,
-        solution=solution,
-        dead=frozenset(dead),
-        uncovered=uncovered,
-        dropped_demand=dropped_demand,
-    )
+    with _profile_span(
+        "routing.repair", histogram="routing.repair_wall_s", dead=len(dead)
+    ):
+        pruned = prune_dead_nodes(cluster, set(dead))
+        hops = pruned.min_hop_counts()
+        uncovered = frozenset(
+            i
+            for i in range(pruned.n_sensors)
+            if i not in dead and not np.isfinite(hops[i])
+        )
+        dropped_demand = {i: int(pruned.packets[i]) for i in sorted(uncovered)}
+        if uncovered:
+            packets = pruned.packets.copy()
+            packets[sorted(uncovered)] = 0
+            pruned = pruned.with_packets(packets)
+        solution = solve_min_max_load(
+            pruned, energy_aware=energy_aware, engine=engine, method=method
+        )
+        return RepairResult(
+            cluster=pruned,
+            solution=solution,
+            dead=frozenset(dead),
+            uncovered=uncovered,
+            dropped_demand=dropped_demand,
+        )

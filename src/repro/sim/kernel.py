@@ -94,6 +94,10 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        # Optional repro.obs.Telemetry: when set (by the simulation entry
+        # points), each run() is wrapped in a wall-clock profile span
+        # carrying the event count — one branch per run(), nothing per event.
+        self.telemetry = None
 
     # -- inspection ---------------------------------------------------------
 
@@ -156,6 +160,19 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         self._stopped = False
+        tel = self.telemetry
+        kernel_span = None
+        if tel is not None and tel.enabled:
+            from time import perf_counter
+
+            kernel_span = tel.begin(
+                "profile",
+                "kernel.run",
+                perf_counter(),
+                clock="wall",
+                until=until,
+            )
+            events_before = self.events_processed
         try:
             while self._heap and not self._stopped:
                 time, _, handle = self._heap[0]
@@ -180,6 +197,18 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+            if kernel_span is not None:
+                from time import perf_counter
+
+                tel.finish(
+                    kernel_span,
+                    perf_counter(),
+                    events=self.events_processed - events_before,
+                    sim_time=self._now,
+                )
+                tel.metrics.counter("kernel.events").inc(
+                    self.events_processed - events_before
+                )
 
     def step(self) -> bool:
         """Run a single event.  Returns ``False`` if no live event remained."""

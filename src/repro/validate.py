@@ -124,6 +124,10 @@ class InvariantMonitor:
             mode = os.environ.get(_ENV_VAR, "warn")
         self.mode = mode
         self.violations: list[InvariantViolation] = []
+        # Observers notified of every recorded violation (before a strict
+        # raise).  The telemetry layer (repro.obs) subscribes here so
+        # violations surface as trace events; listeners must never raise.
+        self.listeners: list = []
 
     @property
     def mode(self) -> str:
@@ -164,6 +168,8 @@ class InvariantMonitor:
             hint=hint,
         )
         self.violations.append(violation)
+        for listener in self.listeners:
+            listener(violation)
         if self._mode == "strict" and raise_strict:
             raise InvariantError(violation)
         warnings.warn(str(violation), InvariantWarning, stacklevel=3)

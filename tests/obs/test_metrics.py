@@ -1,0 +1,98 @@
+"""Unit tests for the typed metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+def test_counter_increments_and_rejects_decrease():
+    reg = MetricsRegistry()
+    c = reg.counter("mac.retries")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_last_write_wins():
+    reg = MetricsRegistry()
+    g = reg.gauge("routing.max_load")
+    assert g.value is None
+    g.set(3.0)
+    g.set(2.0)
+    assert g.value == 2.0
+
+
+def test_histogram_summary_statistics():
+    reg = MetricsRegistry()
+    h = reg.histogram("mac.group_size")
+    for v in (2.0, 1.0, 3.0):
+        h.observe(v)
+    assert h.count == 3
+    assert h.total == 6.0
+    assert h.min == 1.0
+    assert h.max == 3.0
+    assert h.mean == 2.0
+
+
+def test_get_or_create_returns_same_instrument():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert len(reg) == 1
+    assert "a" in reg
+
+
+def test_name_is_the_schema():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError, match="already registered as counter"):
+        reg.gauge("x")
+
+
+def test_snapshot_is_json_compatible_and_sorted():
+    import json
+
+    reg = MetricsRegistry()
+    reg.counter("b").inc(2)
+    reg.gauge("a").set(1.5)
+    reg.histogram("c").observe(0.25)
+    snap = reg.snapshot()
+    assert list(snap) == ["a", "b", "c"]
+    json.dumps(snap)  # must not raise
+    assert snap["b"] == {"type": "counter", "value": 2}
+
+
+def test_merge_snapshot_counters_add_gauges_overwrite_histograms_combine():
+    a = MetricsRegistry()
+    a.counter("n").inc(3)
+    a.gauge("g").set(1.0)
+    a.histogram("h").observe(1.0)
+
+    b = MetricsRegistry()
+    b.counter("n").inc(4)
+    b.gauge("g").set(9.0)
+    b.histogram("h").observe(5.0)
+    b.histogram("h").observe(3.0)
+
+    a.merge_snapshot(b.snapshot())
+    assert a.counter("n").value == 7
+    assert a.gauge("g").value == 9.0
+    h = a.histogram("h")
+    assert (h.count, h.total, h.min, h.max) == (3, 9.0, 1.0, 5.0)
+
+
+def test_merge_snapshot_empty_histogram_is_noop():
+    a = MetricsRegistry()
+    a.histogram("h").observe(2.0)
+    b = MetricsRegistry()
+    b.histogram("h")  # registered but never observed
+    a.merge_snapshot(b.snapshot())
+    assert a.histogram("h").count == 1
+    assert a.histogram("h").min == 2.0
+
+
+def test_merge_snapshot_unknown_type_rejected():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError, match="unknown type"):
+        reg.merge_snapshot({"weird": {"type": "summary", "value": 1}})

@@ -1,0 +1,139 @@
+"""Tracer edge cases: reuse across runs, unsubscribe, retention bounds.
+
+Regression coverage for the cross-trial reuse hazard documented in
+:mod:`repro.sim.trace`: per-run counters must not leak from one trial into
+the next, subscribers must be removable (even from inside a dispatch), and
+``keep_records`` must be boundable for soak runs.
+"""
+
+import pytest
+
+import repro.sim.trace as trace_mod
+from repro.sim import Tracer
+
+
+def test_reuse_without_reset_accumulates_the_documented_hazard():
+    t = Tracer()
+    t.emit(0.0, "rx_ok")
+    t.emit(1.0, "rx_ok")
+    # Second "run" without clearing: counts silently carry over.
+    t.emit(0.0, "rx_ok")
+    assert t.counts["rx_ok"] == 3
+
+
+def test_run_scope_resets_per_run_state_but_keeps_subscribers():
+    t = Tracer(keep_records=True)
+    seen = []
+    t.subscribe("rx_ok", seen.append)
+    with t.run_scope():
+        t.emit(0.0, "rx_ok")
+    assert t.counts["rx_ok"] == 1  # readable after exit
+    with t.run_scope():
+        assert t.counts["rx_ok"] == 0  # reset on entry, not exit
+        assert t.records == []
+        t.emit(0.0, "rx_ok")
+        t.emit(1.0, "rx_ok")
+    assert t.counts["rx_ok"] == 2
+    assert len(seen) == 3  # subscriber survived both scopes
+
+
+def test_unsubscribe_removes_and_restores_fast_path(monkeypatch):
+    t = Tracer()
+    fn = lambda rec: None  # noqa: E731
+    t.subscribe("rx_ok", fn)
+    t.unsubscribe("rx_ok", fn)
+    # The empty list must be dropped so emit takes the no-record fast path.
+    assert "rx_ok" not in t._subs
+    monkeypatch.setattr(
+        trace_mod,
+        "TraceRecord",
+        lambda *a, **k: pytest.fail("fast path must not allocate a record"),
+    )
+    t.emit(0.0, "rx_ok")
+    assert t.counts["rx_ok"] == 1
+
+
+def test_unsubscribe_wildcard_and_missing():
+    t = Tracer()
+    fn = lambda rec: None  # noqa: E731
+    t.subscribe("*", fn)
+    t.unsubscribe("*", fn)
+    with pytest.raises(ValueError):
+        t.unsubscribe("rx_ok", fn)
+
+
+def test_unsubscribe_during_dispatch_is_safe():
+    t = Tracer()
+    calls = []
+
+    def self_removing(rec):
+        calls.append("a")
+        t.unsubscribe("evt", self_removing)
+
+    def sibling(rec):
+        calls.append("b")
+
+    t.subscribe("evt", self_removing)
+    t.subscribe("evt", sibling)
+    t.emit(0.0, "evt")
+    # The in-flight dispatch iterates a snapshot: the sibling still fires.
+    assert calls == ["a", "b"]
+    t.emit(1.0, "evt")
+    assert calls == ["a", "b", "b"]
+
+
+def test_emit_with_no_subscribers_allocates_no_record(monkeypatch):
+    t = Tracer()
+    monkeypatch.setattr(
+        trace_mod,
+        "TraceRecord",
+        lambda *a, **k: pytest.fail("no-subscriber emit must not allocate"),
+    )
+    t.emit(0.0, "rx_ok", node=3, size=80)
+    assert t.counts["rx_ok"] == 1
+    assert t.records == []
+
+
+def test_max_records_keeps_a_sliding_window():
+    t = Tracer(keep_records=True, max_records=3)
+    for i in range(10):
+        t.emit(float(i), "rx_ok", node=i)
+    assert len(t.records) == 3
+    assert [r.time for r in t.records] == [7.0, 8.0, 9.0]  # oldest dropped
+    assert t.counts["rx_ok"] == 10  # counters see everything
+
+
+def test_max_records_requires_positive():
+    with pytest.raises(ValueError):
+        Tracer(keep_records=True, max_records=0)
+
+
+def test_max_records_none_retains_everything():
+    t = Tracer(keep_records=True)
+    for i in range(100):
+        t.emit(float(i), "rx_ok")
+    assert len(t.records) == 100
+
+
+def test_tracer_reused_across_multicluster_trials_does_not_leak_counts():
+    """Regression: one tracer handed to consecutive runs must report each
+    run's counts from zero (run_scope resets on entry), with subscribers
+    surviving across the trials."""
+    from repro.net import MultiClusterConfig, run_multicluster_simulation
+
+    cfg = MultiClusterConfig(
+        n_sensors=20, n_heads=2, n_cycles=2, seed=4, cycle_length=5.0,
+        field_m=260.0,
+    )
+    t = Tracer()
+    seen = []
+    t.subscribe("phy_rx_ok", seen.append)
+    run_multicluster_simulation(cfg, tracer=t)
+    first = dict(t.counts)
+    first_seen = len(seen)
+    assert first and first_seen > 0
+    run_multicluster_simulation(cfg, tracer=t)
+    # Same seed, same config: the second run must reproduce the first's
+    # counts exactly instead of doubling them.
+    assert dict(t.counts) == first
+    assert len(seen) == 2 * first_seen  # the subscriber saw both runs

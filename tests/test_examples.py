@@ -76,3 +76,14 @@ def test_smac_comparison_runs():
     out = run_example("smac_comparison.py", timeout=600)
     assert "Multihop Polling" in out
     assert "SMAC" in out
+
+
+@pytest.mark.slow
+def test_trace_inspect_runs():
+    out = run_example("trace_inspect.py")
+    assert "collected" in out and "spans" in out
+    assert "head blacklists" in out
+    assert "re-routes around" in out
+    assert "per-phase simulation time" in out
+    assert "per-radio energy" in out
+    assert "traces to its originating poll request" in out
