@@ -28,6 +28,7 @@ CHEAP_BENCHES = {
     "fig4": "test_bench_fig4.py",
     "core_kernels": "test_bench_core_kernels.py",
     "failover": "test_bench_failover.py",
+    "churn": "test_bench_churn.py",
     "obs_overhead": "test_bench_obs_overhead.py",
 }
 

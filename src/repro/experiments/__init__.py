@@ -10,6 +10,7 @@ Run any figure directly::
     python -m repro.experiments.fig7c
     python -m repro.experiments.ablations
     python -m repro.experiments.fault_ablation
+    python -m repro.experiments.churn_ablation
 
 Submodules are intentionally *not* imported eagerly so ``python -m`` works
 without double-import warnings; import the one you need explicitly.
@@ -25,5 +26,6 @@ __all__ = [
     "fig7c",
     "ablations",
     "fault_ablation",
+    "churn_ablation",
     "runner",
 ]

@@ -13,7 +13,17 @@ blacklisting, route repair) lives with the components it hardens:
 
 from .gilbert import GilbertElliottLoss, LinkChainState
 from .injector import FaultEvent, FaultInjector
-from .plan import BatteryDepletion, BurstyLinks, FaultPlan, NodeCrash, TransientStun
+from .plan import (
+    BatteryDepletion,
+    BurstyLinks,
+    ChannelDrift,
+    FaultPlan,
+    Mobility,
+    NodeCrash,
+    NodeJoin,
+    NodeLeave,
+    TransientStun,
+)
 
 __all__ = [
     "FaultPlan",
@@ -21,6 +31,10 @@ __all__ = [
     "TransientStun",
     "BatteryDepletion",
     "BurstyLinks",
+    "NodeJoin",
+    "NodeLeave",
+    "Mobility",
+    "ChannelDrift",
     "GilbertElliottLoss",
     "LinkChainState",
     "FaultInjector",

@@ -81,6 +81,37 @@ class GilbertElliottLoss(LossModel):
         self.seed = int(seed)
         self._chains: dict[tuple[int, int], LinkChainState] = {}
 
+    def reparameterize(
+        self,
+        p_good_to_bad: float | None = None,
+        p_bad_to_good: float | None = None,
+        loss_good: float | None = None,
+        loss_bad: float | None = None,
+    ) -> None:
+        """Swap chain parameters mid-run (slow channel drift, DESIGN.md §11).
+
+        Per-link chain *state* (good/bad, step counters, RNG positions) is
+        preserved — only the transition/loss probabilities change, so a link
+        mid-burst stays mid-burst under the new fade depth.  Each chain's
+        RNG is private and per-link, so a drift epoch cannot leak randomness
+        into any other link or stream.
+        """
+        p_gb = self.p_gb if p_good_to_bad is None else float(p_good_to_bad)
+        p_bg = self.p_bg if p_bad_to_good is None else float(p_bad_to_good)
+        l_good = self.loss[0] if loss_good is None else float(loss_good)
+        l_bad = self.loss[1] if loss_bad is None else float(loss_bad)
+        for name, v in (
+            ("p_good_to_bad", p_gb),
+            ("p_bad_to_good", p_bg),
+            ("loss_good", l_good),
+            ("loss_bad", l_bad),
+        ):
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        self.p_gb = p_gb
+        self.p_bg = p_bg
+        self.loss = (l_good, l_bad)
+
     # -- chain mechanics ----------------------------------------------------------
 
     def _chain(self, receiver: int, sender: int) -> LinkChainState:

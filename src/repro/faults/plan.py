@@ -18,6 +18,20 @@ duty-cycle energy-depletion dynamics):
   burned through the given capacity.
 * :class:`BurstyLinks` — a Gilbert–Elliott loss process applied to every
   link, replacing the i.i.d. Bernoulli abstraction with correlated fades.
+
+Dynamic-network events (DESIGN.md §11) extend the same taxonomy — the graph
+itself changes, not just its health:
+
+* :class:`NodeLeave` — an *announced* departure (battery swap, maintenance
+  pull): the radio goes dark like a crash, but the membership layer is told,
+  so no detection cycles are burned inferring it.
+* :class:`NodeJoin` — a new sensor powers up at a position at a time; it is
+  admitted into routing at the next re-cluster pass.
+* :class:`Mobility` — bounded random drift applied to node positions at
+  duty-cycle boundaries (slot-level PHY stays exact within a cycle).
+* :class:`ChannelDrift` — slow deterministic modulation of the Gilbert–
+  Elliott parameters mid-run (diurnal fading, weather), requires
+  ``bursty_links`` to be armed.
 """
 
 from __future__ import annotations
@@ -31,6 +45,10 @@ __all__ = [
     "TransientStun",
     "BatteryDepletion",
     "BurstyLinks",
+    "NodeJoin",
+    "NodeLeave",
+    "Mobility",
+    "ChannelDrift",
     "FaultPlan",
 ]
 
@@ -136,27 +154,153 @@ class BurstyLinks:
 
 
 @dataclass(frozen=True)
+class NodeJoin:
+    """A new sensor powers up at *position* at time *at*.
+
+    Joins are named up front (the plan is pure data), so the harness can
+    pre-allocate the joiner's PHY slot at construction; its sensor id is
+    assigned in plan order after the existing sensors (the i-th join of a
+    run with n deployed sensors becomes sensor ``n + i``).  The radio stays
+    asleep and the sensor is excluded from all planning until *at*; a
+    re-cluster pass after the join admits it into routing.
+    """
+
+    at: float
+    position: tuple[float, float]
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"join time must be >= 0, got {self.at}")
+        pos = tuple(float(c) for c in self.position)
+        if len(pos) != 2:
+            raise ValueError(f"position must be (x, y), got {self.position!r}")
+        object.__setattr__(self, "position", pos)
+
+
+@dataclass(frozen=True)
+class NodeLeave:
+    """Sensor *node* departs (announced) at time *at* and never returns.
+
+    Unlike :class:`NodeCrash`, the departure is *known* to the membership
+    layer the moment it happens — the head does not spend detection cycles
+    inferring it — but physically the radio goes just as dark (fail-stop).
+    """
+
+    node: int
+    at: float
+
+    def __post_init__(self) -> None:
+        _check_sensor(self.node)
+        if self.at < 0:
+            raise ValueError(f"leave time must be >= 0, got {self.at}")
+
+
+@dataclass(frozen=True)
+class Mobility:
+    """Bounded random drift of node positions at duty-cycle boundaries.
+
+    Each mobile node takes one independent step per cycle: a uniformly
+    random direction and a uniform distance in ``[0, speed_mps * cycle]``,
+    reflected back into the bounding box.  Draws come from the dedicated
+    ``mobility`` RNG stream, sub-split per node, so enabling mobility can
+    never perturb the fault stream (or any other stream) of a seeded run.
+
+    ``nodes=None`` moves every basic sensor (the head is the powerful,
+    mains-backed tier-2 node — it stays put).  ``bounds`` is the
+    ``(xmin, xmax, ymin, ymax)`` box positions are kept inside; ``None``
+    derives it from the initial deployment's bounding box.
+    """
+
+    speed_mps: float
+    nodes: tuple[int, ...] | None = None
+    bounds: tuple[float, float, float, float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.speed_mps <= 0:
+            raise ValueError(f"speed must be > 0 m/s, got {self.speed_mps}")
+        if self.nodes is not None:
+            nodes = tuple(int(n) for n in self.nodes)
+            for n in nodes:
+                _check_sensor(n)
+            object.__setattr__(self, "nodes", nodes)
+        if self.bounds is not None:
+            b = tuple(float(v) for v in self.bounds)
+            if len(b) != 4 or b[0] >= b[1] or b[2] >= b[3]:
+                raise ValueError(
+                    f"bounds must be (xmin, xmax, ymin, ymax) with min < max, "
+                    f"got {self.bounds!r}"
+                )
+            object.__setattr__(self, "bounds", b)
+
+
+@dataclass(frozen=True)
+class ChannelDrift:
+    """Slow sinusoidal modulation of the Gilbert–Elliott parameters.
+
+    At every duty-cycle boundary the injector re-parameterizes the armed
+    :class:`BurstyLinks` process around its base values::
+
+        loss_bad(t) = clip(base + loss_bad_amplitude * sin(2*pi*t/period_s + phase), 0, 1)
+        p_gb(t)     = clip(base + p_gb_amplitude    * sin(2*pi*t/period_s + phase), 0, 1)
+
+    Deterministic by construction (no RNG draws), so a drifting channel
+    perturbs nothing but the loss parameters themselves.  Requires
+    ``bursty_links`` on the same plan — drift without a loss process has
+    nothing to modulate.
+    """
+
+    period_s: float
+    loss_bad_amplitude: float = 0.3
+    p_gb_amplitude: float = 0.0
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError(f"drift period must be > 0 s, got {self.period_s}")
+        for name in ("loss_bad_amplitude", "p_gb_amplitude"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """The full fault description of one run.
 
     An empty plan (the default) is the contract for backward compatibility:
     a simulation given ``FaultPlan()`` must produce results identical to one
-    given no plan at all — no RNG draws, no extra events, nothing.
+    given no plan at all — no RNG draws, no extra events, nothing.  The
+    dynamic-network fields (joins/leaves/mobility/channel drift) honor the
+    same contract: leaving them at their defaults adds zero events.
     """
 
     crashes: tuple[NodeCrash, ...] = ()
     stuns: tuple[TransientStun, ...] = ()
     batteries: tuple[BatteryDepletion, ...] = ()
     bursty_links: BurstyLinks | None = None
+    joins: tuple[NodeJoin, ...] = ()
+    leaves: tuple[NodeLeave, ...] = ()
+    mobility: Mobility | None = None
+    channel_drift: ChannelDrift | None = None
 
     def __post_init__(self) -> None:
         # Accept lists for ergonomic literals; normalize to tuples.
         object.__setattr__(self, "crashes", tuple(self.crashes))
         object.__setattr__(self, "stuns", tuple(self.stuns))
         object.__setattr__(self, "batteries", tuple(self.batteries))
+        object.__setattr__(self, "joins", tuple(self.joins))
+        object.__setattr__(self, "leaves", tuple(self.leaves))
         crashed = [c.node for c in self.crashes]
         if len(set(crashed)) != len(crashed):
             raise ValueError(f"duplicate crash entries for nodes {crashed}")
+        left = [l.node for l in self.leaves]
+        if len(set(left)) != len(left):
+            raise ValueError(f"duplicate leave entries for nodes {left}")
+        if self.channel_drift is not None and self.bursty_links is None:
+            raise ValueError(
+                "channel_drift modulates the Gilbert-Elliott process; the "
+                "plan must also arm bursty_links"
+            )
 
     @property
     def is_empty(self) -> bool:
@@ -165,12 +309,22 @@ class FaultPlan:
             and not self.stuns
             and not self.batteries
             and self.bursty_links is None
+            and not self.joins
+            and not self.leaves
+            and self.mobility is None
+            and self.channel_drift is None
         )
 
+    @property
+    def is_dynamic(self) -> bool:
+        """Does the plan change the network graph itself (churn/mobility)?"""
+        return bool(self.joins or self.leaves or self.mobility is not None)
+
     def faulted_nodes(self) -> set[int]:
-        """Every sensor the plan can possibly kill or stun."""
+        """Every sensor the plan can possibly kill, stun, or remove."""
         return (
             {c.node for c in self.crashes}
             | {s.node for s in self.stuns}
             | {b.node for b in self.batteries}
+            | {l.node for l in self.leaves}
         )

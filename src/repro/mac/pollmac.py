@@ -46,6 +46,7 @@ from ..sim.kernel import Simulator
 from ..sim.process import Process, Timeout
 from ..sim.units import transmission_time
 from ..topology.cluster import HEAD, Cluster
+from ..topology.recluster import StalenessTracker, StalenessTrigger, reform_cluster
 from .base import ClusterPhy, MacTimings
 
 __all__ = [
@@ -330,6 +331,9 @@ class PollingClusterMac:
         failure_detection: bool = False,
         dead_after_misses: int = 2,
         backup_k: int = 0,
+        absent: set[int] | None = None,
+        recluster: str = "off",
+        recluster_trigger: StalenessTrigger | None = None,
     ):
         self.phy = phy
         self.sim = phy.sim
@@ -348,11 +352,53 @@ class PollingClusterMac:
         if backup_k < 0:
             raise ValueError(f"backup_k must be >= 0, got {backup_k}")
         self.backup_k = backup_k
+        if recluster not in ("off", "staleness", "periodic"):
+            raise ValueError(
+                f"recluster must be 'off', 'staleness' or 'periodic', "
+                f"got {recluster!r}"
+            )
+        self.recluster = recluster
         self.packets_failed = 0
+        # Dynamic membership (DESIGN.md §11): sensors the plan pre-allocated
+        # but that have not powered up yet (absent), announced departures,
+        # joiners awaiting admission at the next re-form, and departures not
+        # yet repaired around.  All default-empty, so a static run carries
+        # only empty-set unions through the hot path.
+        self.absent: set[int] = set(absent or ())
+        self.departed: set[int] = set()
+        self.pending_joins: set[int] = set()
+        self._new_departures: set[int] = set()
+        self.reclusters = 0
+        self.recluster_log: list[dict] = []
+        # Roster announcement cost: a re-form re-announces membership and the
+        # polling schedule in the next wakeup broadcast (2 bytes per present
+        # sensor), charged once and reset.  Zero when no re-form happened, so
+        # static wakeups keep their exact size.
+        self._reform_roster_bytes = 0
+        self._staleness: StalenessTracker | None = None
+        if recluster != "off":
+            trigger = recluster_trigger
+            if trigger is None:
+                trigger = (
+                    StalenessTrigger()
+                    if recluster == "staleness"
+                    else StalenessTrigger(
+                        membership_delta=0, repair_fallbacks=0, period_cycles=5
+                    )
+                )
+            if recluster == "periodic" and trigger.period_cycles <= 0:
+                raise ValueError(
+                    "recluster='periodic' needs a trigger with period_cycles > 0"
+                )
+            self._staleness = StalenessTracker(trigger=trigger)
         # Recovery state: the topology the head currently plans on (pruned
         # after each repair), declared-dead sensors, survivors that lost
         # their last route, and per-node consecutive-suspect-cycle counters.
         self.active_cluster = phy.cluster
+        if self.absent:
+            # Joiner slots exist in the PHY from t=0 but must not attract
+            # routes until admitted; prune them like the dead.
+            self.active_cluster = prune_dead_nodes(phy.cluster, self.absent)
         self.blacklisted: set[int] = set()
         self.unreachable: set[int] = set()
         self.route_repairs = 0
@@ -493,6 +539,47 @@ class PollingClusterMac:
         self.route_repairs += 1
         self.adoptions += len(new_agents)
         return len(new_agents)
+
+    # -- dynamic membership (churn) ---------------------------------------------------
+
+    def _excluded(self) -> set[int]:
+        """Everyone the head must not plan demand for or through."""
+        return self.blacklisted | self.departed | self.absent
+
+    def notify_join(self, node: int) -> None:
+        """A pre-allocated sensor powered up (fault injector callback).
+
+        The join is queued, not applied: admission into routing happens only
+        at a duty-cycle boundary when a re-form fires, so mid-cycle state
+        (slot schedules, in-flight frames) never sees membership change.
+        Under ``recluster='off'`` the joiner stays absent forever — the
+        degradation the churn ablation measures.
+        """
+        if node in self.departed or node in self.blacklisted:
+            return
+        self.pending_joins.add(node)
+        if self._staleness is not None:
+            self._staleness.note_join(node)
+        if self._tel_enabled:
+            self._tel.metrics.counter("mac.joins_seen").inc()
+
+    def notify_leave(self, node: int) -> None:
+        """A sensor departed, announced (fault injector callback).
+
+        Unlike an inferred crash the head learns this instantly: the node is
+        excluded from planning at the next boundary without burning
+        ``dead_after_misses`` detection cycles on it.
+        """
+        self.pending_joins.discard(node)
+        if node in self.departed:
+            return
+        self.departed.add(node)
+        self._new_departures.add(node)
+        self._suspect_misses.pop(node, None)
+        if self._staleness is not None:
+            self._staleness.note_leave(node)
+        if self._tel_enabled:
+            self._tel.metrics.counter("mac.leaves_seen").inc()
 
     @property
     def packets_delivered(self) -> int:
@@ -763,7 +850,10 @@ class PollingClusterMac:
                 implicated.update(n for n in ev.old_path[1:-1])
         covered = {n for p in self.ack_plan.paths for n in p if n != HEAD}
         implicated |= covered - alive
-        suspects = implicated - alive - self.blacklisted
+        # Departed/absent nodes are *known* gone — suspicion is for deaths
+        # the head must infer, and wasting blacklist entries on announced
+        # departures would double-count them in degradation metrics.
+        suspects = implicated - alive - self.blacklisted - self.departed - self.absent
         self._suspect_misses = {
             s: self._suspect_misses.get(s, 0) + 1 for s in suspects
         }
@@ -807,17 +897,19 @@ class PollingClusterMac:
                 blacklisted=sorted(self.blacklisted),
             )
         previously_unreachable = set(self.unreachable)
-        self.active_cluster = prune_dead_nodes(self.phy.cluster, self.blacklisted)
+        excluded = self._excluded()
+        self.active_cluster = prune_dead_nodes(self.phy.cluster, excluded)
         hops = self.active_cluster.min_hop_counts()
         self.unreachable = {
             i
             for i in range(self.active_cluster.n_sensors)
-            if i not in self.blacklisted and not np.isfinite(hops[i])
+            if i not in excluded and not np.isfinite(hops[i])
         }
         self.repair_log.append(
             {
                 "time": self.sim.now,
                 "blacklisted": sorted(self.blacklisted),
+                "departed": sorted(self.departed),
                 "unreachable": sorted(self.unreachable),
                 "newly_unreachable": sorted(self.unreachable - previously_unreachable),
                 # Pending packets are attributed to the repair that *first*
@@ -842,6 +934,14 @@ class PollingClusterMac:
 
             self.partition = partition_into_sectors(self.routing, oracle=self.oracle)
         self.route_repairs += 1
+        if self._staleness is not None:
+            self._staleness.note_repair()
+        _validate.check_dynamic_membership(
+            self.routing,
+            excluded,
+            sim_time=self.sim.now,
+            hint=f"cluster {self.cluster_id} route repair #{self.route_repairs}",
+        )
         if repair_span is not None:
             self._tel.finish(
                 repair_span,
@@ -855,6 +955,110 @@ class PollingClusterMac:
             self._tel.metrics.histogram("mac.repair_unreachable").observe(
                 float(len(self.unreachable))
             )
+
+    def _recluster(self, reason: str) -> None:
+        """Online re-form at a duty-cycle boundary (DESIGN.md §11).
+
+        Re-discovers connectivity from the live medium (so moved nodes bring
+        their moved links), admits pending joiners, and migrates demand
+        incrementally through the repair machinery — blacklist, announced
+        departures and still-absent sensors all stay excluded, and failover
+        state (backup routes, rotation, ack cover, sector partition) is
+        rebuilt on the new plan.  Queued application packets are untouched:
+        a re-form reshapes routing state only, and the conservation check
+        below enforces exactly that.
+        """
+        span = None
+        if self._tel_enabled:
+            span = self._tel.begin(
+                "recluster",
+                f"recluster:{reason}",
+                self.sim.now,
+                parent=self._cycle_span,
+                cluster=self.cluster_id,
+                reason=reason,
+                pending_joins=sorted(self.pending_joins),
+                departed=sorted(self.departed),
+            )
+        admitted = set(self.pending_joins)
+        self.absent -= admitted
+        self.pending_joins.clear()
+        excluded = self._excluded()
+        present = [
+            i for i in range(self.phy.n_sensors) if i not in excluded
+        ]
+        pending_before = sum(self.sensors[i].pending_count for i in present)
+        previously_unreachable = set(self.unreachable)
+        result = reform_cluster(self.phy, excluded, admitted)
+        # The re-discovered cluster becomes the PHY's ground-truth topology;
+        # the repair's pruned twin is what planning runs on.
+        self.phy.cluster = result.cluster
+        self.active_cluster = result.repair.cluster
+        self.unreachable = set(result.repair.uncovered)
+        self.routing = result.repair.solution
+        # The planning oracle re-captures the medium's *current* receive
+        # powers — this is the one place mobility staleness is repaid.
+        self.oracle = phy_truth_oracle(self.phy, self.oracle.max_group_size)
+        self.rotator = PathRotator(self.routing)
+        self.ack_plan = plan_ack_collection(
+            self.active_cluster, self.routing.routing_plan()
+        )
+        self.backups = self._compute_backups()
+        if self.partition is not None:
+            from ..core.sectors import partition_into_sectors
+
+            self.partition = partition_into_sectors(self.routing, oracle=self.oracle)
+        # Suspicion counters were evidence against the *old* topology.
+        self._suspect_misses = {}
+        self.route_history.append((self.sim.now, self.routing))
+        # Announcing the new roster + schedule costs the next wakeup
+        # broadcast 2 bytes per present sensor (id + slot assignment).
+        self._reform_roster_bytes = 2 * len(present)
+        self.reclusters += 1
+        newly_unreachable = sorted(self.unreachable - previously_unreachable)
+        self.recluster_log.append(
+            {
+                "time": self.sim.now,
+                "reason": reason,
+                "admitted": sorted(admitted),
+                "excluded": sorted(excluded),
+                "unreachable": sorted(self.unreachable),
+                "roster_bytes": self._reform_roster_bytes,
+            }
+        )
+        # Re-forms strand sensors exactly like repairs do; log through the
+        # same channel so reconcile_dropped_demand sees one unified stream.
+        self.repair_log.append(
+            {
+                "time": self.sim.now,
+                "blacklisted": sorted(self.blacklisted),
+                "departed": sorted(self.departed),
+                "unreachable": sorted(self.unreachable),
+                "newly_unreachable": newly_unreachable,
+                "dropped_pending": {
+                    i: self.sensors[i].pending_count for i in newly_unreachable
+                },
+            }
+        )
+        hint = f"cluster {self.cluster_id} recluster #{self.reclusters} ({reason})"
+        _validate.check_dynamic_membership(
+            self.routing, excluded, sim_time=self.sim.now, hint=hint
+        )
+        pending_after = sum(self.sensors[i].pending_count for i in present)
+        _validate.check_reform_conservation(
+            pending_before, pending_after, sim_time=self.sim.now, hint=hint
+        )
+        if self._staleness is not None:
+            self._staleness.reset()
+        if span is not None:
+            self._tel.finish(
+                span,
+                self.sim.now,
+                admitted=sorted(admitted),
+                unreachable=sorted(self.unreachable),
+                roster_bytes=self._reform_roster_bytes,
+            )
+            self._tel.metrics.counter("mac.reclusters").inc()
 
     def _backup_ack_sweep(self, covered: set[int]):
         """Generator: one extra ack round over backup paths.
@@ -910,10 +1114,19 @@ class PollingClusterMac:
                 self._cycle_span = cycle_span
             # 1. wakeup broadcast (sensors are awake: they woke on schedule).
             wakeup_payload: dict = {"cycle": cycle}
-            if self.blacklisted:
-                # Blacklist propagation: relays drop dead origins' packets.
-                wakeup_payload["blacklist"] = sorted(self.blacklisted)
-            dur = self._broadcast(FrameType.WAKEUP, self.sizes.wakeup, wakeup_payload)
+            gone = self.blacklisted | self.departed
+            if gone:
+                # Blacklist propagation: relays drop dead origins' packets
+                # (announced departures purge exactly like inferred deaths).
+                wakeup_payload["blacklist"] = sorted(gone)
+            # A re-form last boundary means this wakeup re-announces the
+            # roster/schedule; zero extra bytes otherwise.
+            dur = self._broadcast(
+                FrameType.WAKEUP,
+                self.sizes.wakeup + self._reform_roster_bytes,
+                wakeup_payload,
+            )
+            self._reform_roster_bytes = 0
             yield Timeout(dur + self.timings.turnaround)
             # 2. ack collection along covering paths.
             self._ack_counts = {}
@@ -943,8 +1156,9 @@ class PollingClusterMac:
             counts = np.zeros(self.phy.n_sensors, dtype=np.int64)
             for sensor, cnt in self._ack_counts.items():
                 counts[sensor] = cnt
-            if self.blacklisted:
-                counts[sorted(self.blacklisted)] = 0
+            excluded_now = self._excluded()
+            if excluded_now:
+                counts[sorted(excluded_now)] = 0
             data_slots = 0
             retransmissions = 0
             if self.partition is not None:
@@ -971,6 +1185,23 @@ class PollingClusterMac:
             # routing around newly declared deaths at this cycle boundary.
             if self.failure_detection:
                 self._update_failure_suspects()
+            # 3c. dynamic membership: re-form when the plan is stale, else
+            # at minimum repair around announced departures.  Both run at
+            # the boundary only — mid-cycle state never sees them.
+            reform_reason = None
+            if self._staleness is not None:
+                self._staleness.note_cycle()
+                reform_reason = self._staleness.due(self.routing.loads)
+            if reform_reason is not None:
+                self._recluster(reform_reason)
+            elif self._new_departures and not (
+                # Detection's repair at this same boundary already pruned
+                # the departures (it excludes self._excluded() wholesale).
+                self.repair_log
+                and self.repair_log[-1]["time"] == sim.now
+            ):
+                self._repair_routing()
+            self._new_departures.clear()
             # 4. sleep broadcast.
             next_wake = max(cycle_start + self.cycle_length, sim.now + 2 * self.timings.guard)
             dur = self._broadcast(FrameType.SLEEP, self.sizes.sleep, {"wake_at": next_wake})

@@ -4,6 +4,7 @@ from .activetime import ActiveTimeConfig, ActiveTimeResult, CycleRecord, simulat
 from .availability import AvailabilityReport, FaultRecovery, availability_report
 from .degradation import DegradationReport, degradation_report, reconcile_dropped_demand
 from .energy import EnergyReport, energy_report
+from .staleness import StalenessReport, staleness_report
 from .lifetime import (
     EnergyRateModel,
     LifetimeResult,
@@ -32,4 +33,6 @@ __all__ = [
     "delivery_ratio",
     "EnergyReport",
     "energy_report",
+    "StalenessReport",
+    "staleness_report",
 ]

@@ -108,6 +108,10 @@ def degradation_report(
     """
     dead_true = frozenset(injector.dead) if injector is not None else frozenset()
     counting_dead = dead_true if injector is not None else frozenset(mac.blacklisted)
+    # Announced departures strand their buffers exactly like deaths; the
+    # attribute check keeps pre-churn injectors (and stand-ins) working.
+    counting_dead = counting_dead | frozenset(getattr(injector, "departed", ()) or ())
+    counting_dead = counting_dead | frozenset(getattr(mac, "departed", ()) or ())
     stranded = 0
     purged = 0
     undeliverable = 0

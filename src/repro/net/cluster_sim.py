@@ -23,11 +23,13 @@ from ..mac.base import ClusterPhy, MacTimings, build_cluster_phy
 from ..mac.pollmac import PollingClusterMac
 from ..metrics.availability import AvailabilityReport, availability_report
 from ..metrics.degradation import DegradationReport, degradation_report
+from ..metrics.staleness import StalenessReport, staleness_report
 from ..radio.energy import EnergyParams
 from ..radio.packet import DEFAULT_SIZES, FrameSizes
 from ..sim.kernel import Simulator
 from ..topology.cluster import Cluster
 from ..topology.deployment import Deployment, uniform_square
+from ..topology.recluster import StalenessTrigger
 from ..traffic.cbr import attach_cbr_sources
 
 __all__ = ["PollingSimConfig", "PollingSimResult", "run_polling_simulation", "cluster_from_phy"]
@@ -83,6 +85,13 @@ class PollingSimConfig:
     # in-cycle failover.  0 (the default) is the exact pre-survivability
     # code path, bit for bit.
     backup_k: int = 0
+    # Online re-clustering under churn/mobility (DESIGN.md §11): "off" keeps
+    # today's purely reactive machinery (announced leaves still repair;
+    # joiners are never admitted), "staleness" re-forms when the trigger
+    # fires, "periodic" re-forms on a fixed cadence.  "off" with no dynamic
+    # plan is the exact pre-churn code path, bit for bit.
+    recluster: str = "off"
+    recluster_trigger: StalenessTrigger | None = None
     # Telemetry (repro.obs).  False (the default) is the exact untraced
     # code path, bit for bit — unless a collector was already activated
     # around the call with ``obs.use(...)``, which this flag cannot turn
@@ -123,6 +132,15 @@ class PollingSimResult:
         continuity, and the failover/repair counters (see
         :mod:`repro.metrics.availability`)."""
         return availability_report(
+            self.mac, self.injector, self.config.cycle_length
+        )
+
+    @property
+    def staleness(self) -> StalenessReport:
+        """Dynamic-network view: plan staleness, re-cluster cost, and
+        coverage under churn (see :mod:`repro.metrics.staleness`;
+        trivially fresh for static runs)."""
+        return staleness_report(
             self.mac, self.injector, self.config.cycle_length
         )
 
@@ -209,6 +227,19 @@ def run_polling_simulation(
             side=config.side_m,
             comm_range=config.sensor_range_m,
         )
+        # Churn pre-allocation: the plan's joiners get PHY slots (appended
+        # after the deployed sensors, in plan order) so ids, frames and
+        # energy meters exist from t=0; their radios stay asleep and they
+        # are excluded from planning until their join fires and a re-form
+        # admits them.  with_positions() returns a fresh Deployment, so the
+        # cached adjacency can never go stale.
+        plan = config.fault_plan
+        joiner_ids: list[int] = []
+        if plan is not None and plan.joins:
+            base_n = dep.n_sensors
+            joiner_ids = list(range(base_n, base_n + len(plan.joins)))
+            join_pos = np.array([j.position for j in plan.joins], dtype=np.float64)
+            dep = dep.with_positions(np.vstack([dep.positions, join_pos]))
         geo_cluster = Cluster.from_deployment(dep)
         phy = build_cluster_phy(
             sim,
@@ -227,7 +258,15 @@ def run_polling_simulation(
         injector: FaultInjector | None = None
         faulted = config.fault_plan is not None and not config.fault_plan.is_empty
         if faulted:
-            injector = FaultInjector(sim, phy, config.fault_plan, base_seed=config.seed)
+            injector = FaultInjector(
+                sim,
+                phy,
+                config.fault_plan,
+                base_seed=config.seed,
+                cycle_length=config.cycle_length,
+                n_cycles=config.n_cycles,
+                joiner_ids=joiner_ids or None,
+            )
         mac = PollingClusterMac(
             phy,
             cycle_length=config.cycle_length,
@@ -238,13 +277,25 @@ def run_polling_simulation(
             failure_detection=faulted,
             dead_after_misses=config.dead_after_misses,
             backup_k=config.backup_k,
+            absent=set(joiner_ids) or None,
+            recluster=config.recluster,
+            recluster_trigger=config.recluster_trigger,
         )
+        if injector is not None:
+            # Churn events (join/leave) report straight to the head MAC; the
+            # binding is a plain attribute set, so static plans are untouched.
+            injector.membership_listener = mac
         sources = attach_cbr_sources(
             sim,
             mac.sensors,
             rate_bps=config.rate_bps,
             packet_bytes=config.packet_bytes,
             seed=config.seed,
+            start_ats={
+                node: join.at for node, join in zip(joiner_ids, plan.joins)
+            }
+            if joiner_ids
+            else None,
         )
         mac.start(config.n_cycles)
         sim.run(until=config.n_cycles * config.cycle_length)

@@ -40,11 +40,13 @@ from ..radio.channel import RadioMedium
 from ..radio.energy import EnergyParams
 from ..radio.packet import DEFAULT_SIZES
 from ..radio.transceiver import Transceiver
+from ..faults.injector import FaultInjector
 from ..sim.kernel import Simulator
-from ..sim.rng import RngStreams
+from ..sim.rng import RngStreams, mobility_rng
 from ..sim.trace import Tracer
 from ..topology.cluster import Cluster
 from ..topology.forming import FormedNetwork, form_clusters
+from ..topology.recluster import assignment_staleness
 from .cluster_sim import cluster_from_phy
 from .coloring import six_color_planar
 from ..topology.forming import cluster_adjacency
@@ -84,6 +86,13 @@ class MultiClusterConfig:
     head_crashes: tuple[tuple[int, float], ...] = ()
     beacon_interval: float = 1.0
     beacon_miss_limit: int = 3
+    # Field-level mobility (DESIGN.md §11): every sensor drifts a bounded
+    # random step at each duty-cycle boundary (speed * cycle_length max,
+    # reflected into the field).  0 (the default) schedules nothing and
+    # draws no RNG — the exact static code path, bit for bit.  The Voronoi
+    # forming is *not* recomputed mid-run; ``final_assignment_staleness``
+    # on the result quantifies how far the deploy-time forming drifted.
+    mobility_speed_mps: float = 0.0
     # Telemetry (repro.obs): False is the exact untraced path, bit for bit
     # (an ambient obs.use(...) scope still traces); True attaches a
     # run-local collector to ``MultiClusterResult.telemetry``.
@@ -112,6 +121,12 @@ class MultiClusterResult:
     coordinator: "HeadFailoverCoordinator | None" = None
     """Present only when head crashes or failover were armed; carries the
     crash/detection/adoption timeline for availability analysis."""
+    mobility_epochs: int = 0
+    """Cycle-boundary drift steps executed (0 for static runs)."""
+    final_assignment_staleness: float = 0.0
+    """Fraction of sensors whose nearest head at the end of the run differs
+    from the deploy-time Voronoi assignment — how stale the forming became
+    under mobility (0.0 for static runs)."""
     telemetry: "_obs.Telemetry | None" = None
     """The run's telemetry collector (``config.telemetry=True`` or an
     ambient ``obs.use(...)`` scope); ``None`` for untraced runs."""
@@ -144,6 +159,55 @@ def _head_layout(k: int, field: float, rng) -> np.ndarray:
     pts = [(x, y) for y in ys for x in xs][:k]
     jitter = rng.uniform(-0.05 * field, 0.05 * field, size=(k, 2))
     return np.asarray(pts) + jitter
+
+
+class _FieldMobility:
+    """Bounded drift of every sensor over the shared field (DESIGN.md §11).
+
+    The multi-cluster analogue of the per-cluster mobility fault: one step
+    per sensor per duty-cycle boundary, each node on its own substream of
+    the dedicated mobility RNG stream, positions reflected into the field.
+    Epochs are scheduled at construction — before any MAC exists — so the
+    kernel's FIFO tie-break runs them ahead of the heads' wakeups at the
+    same timestamp and every cycle sees one consistent geometry.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: RadioMedium,
+        n_sensors: int,
+        speed_mps: float,
+        cycle_length: float,
+        n_cycles: int,
+        field_m: float,
+        base_seed: int,
+    ):
+        self.sim = sim
+        self.medium = medium
+        self.n_sensors = n_sensors
+        self.step_max = speed_mps * cycle_length
+        self.field = field_m
+        self._rngs = [mobility_rng(base_seed, i) for i in range(n_sensors)]
+        self.epochs = 0
+        for k in range(1, int(n_cycles)):
+            sim.at(k * cycle_length, self._epoch)
+
+    def _epoch(self) -> None:
+        reflect = FaultInjector._reflect
+        positions = self.medium.positions.copy()
+        for i in range(self.n_sensors):
+            rng = self._rngs[i]
+            angle = float(rng.uniform(0.0, 2.0 * np.pi))
+            dist = float(rng.uniform(0.0, self.step_max))
+            positions[i, 0] = reflect(
+                positions[i, 0] + dist * np.cos(angle), 0.0, self.field
+            )
+            positions[i, 1] = reflect(
+                positions[i, 1] + dist * np.sin(angle), 0.0, self.field
+            )
+        self.medium.update_positions(positions)
+        self.epochs += 1
 
 
 class HeadFailoverCoordinator:
@@ -426,6 +490,20 @@ def _run_multicluster(
         tracer=tracer,
     )
 
+    # --- field mobility (armed only when asked: bit-for-bit otherwise) -----------
+    mobility: _FieldMobility | None = None
+    if config.mobility_speed_mps > 0:
+        mobility = _FieldMobility(
+            sim=sim,
+            medium=medium,
+            n_sensors=config.n_sensors,
+            speed_mps=config.mobility_speed_mps,
+            cycle_length=config.cycle_length,
+            n_cycles=config.n_cycles,
+            field_m=config.field_m,
+            base_seed=config.seed,
+        )
+
     # --- channel assignment -----------------------------------------------------
     if config.mode == "channels":
         adj = cluster_adjacency(net, interference_range=2 * config.sensor_range_m)
@@ -528,6 +606,13 @@ def _run_multicluster(
             if id(trx) not in seen_trx:
                 seen_trx.add(id(trx))
                 trx.finalize()
+    final_staleness = 0.0
+    if mobility is not None:
+        final_staleness = assignment_staleness(
+            medium.positions[: config.n_sensors],
+            heads,
+            net.assignment,
+        )
     return MultiClusterResult(
         config=config,
         net=net,
@@ -537,6 +622,8 @@ def _run_multicluster(
         packets_generated=sum(s.generated for s in sources),
         collisions=tracer.counts.get("phy_rx_collision", 0),
         coordinator=coordinator,
+        mobility_epochs=mobility.epochs if mobility is not None else 0,
+        final_assignment_staleness=final_staleness,
     )
 
 

@@ -80,12 +80,11 @@ class RadioMedium:
         self.beta = float(capture_beta)
         self.noise = float(noise_w)
         self.tracer = tracer or Tracer()
+        # Kept so mobility can recompute rx_power from moved positions.
+        self.tx_power_w = tx_power_w
+        self.propagation = propagation
         # rx_power[r, s]: what r sees when s transmits.
-        diff = self.positions[:, np.newaxis, :] - self.positions[np.newaxis, :, :]
-        dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
-        gains = propagation.gain_matrix(dist)
-        self.rx_power = gains * tx_power_w[np.newaxis, :]
-        np.fill_diagonal(self.rx_power, 0.0)
+        self.rx_power = self._compute_rx_power()
         if not 0.0 <= frame_error_rate < 1.0:
             raise ValueError(f"frame error rate must be in [0,1), got {frame_error_rate}")
         self.frame_error_rate = float(frame_error_rate)
@@ -102,6 +101,34 @@ class RadioMedium:
         # consulted in the decode path: anything with
         # ``frame_fails(receiver, sender, now) -> bool``.  None = clean links.
         self.link_loss = None
+
+    def _compute_rx_power(self) -> np.ndarray:
+        diff = self.positions[:, np.newaxis, :] - self.positions[np.newaxis, :, :]
+        dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        gains = self.propagation.gain_matrix(dist)
+        rx = gains * self.tx_power_w[np.newaxis, :]
+        np.fill_diagonal(rx, 0.0)
+        return rx
+
+    def update_positions(self, positions: np.ndarray) -> None:
+        """Move nodes: replace positions and receive powers (mobility).
+
+        ``rx_power`` is *replaced*, never mutated in place: consumers that
+        captured the old array (the head's planning oracle) deliberately keep
+        seeing the topology as it was when they were built — that staleness
+        is the physical reality of a plan computed before the nodes moved,
+        and a re-cluster pass is what refreshes it.  The medium itself (the
+        ground truth every decode consults through ``self.rx_power``) always
+        uses the current geometry.
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.shape != self.positions.shape:
+            raise ValueError(
+                f"positions must have shape {self.positions.shape}, "
+                f"got {positions.shape}"
+            )
+        self.positions = positions.copy()
+        self.rx_power = self._compute_rx_power()
 
     # -- registration -------------------------------------------------------------
 

@@ -11,7 +11,14 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["RngStreams", "derive_seed", "fault_rng", "FAULT_STREAM"]
+__all__ = [
+    "RngStreams",
+    "derive_seed",
+    "fault_rng",
+    "mobility_rng",
+    "FAULT_STREAM",
+    "MOBILITY_STREAM",
+]
 
 _MIX = 0x9E3779B97F4A7C15  # golden-ratio increment used by splitmix-style mixers
 
@@ -22,6 +29,15 @@ All randomness consumed by :mod:`repro.faults` (crash jitter, Gilbert–Elliott
 chain transitions, ...) must derive from this stream so that *enabling* fault
 injection never perturbs the deployment/traffic/backoff draws of an existing
 seeded run — the no-fault trajectories stay bit-for-bit identical.
+"""
+
+MOBILITY_STREAM = "mobility"
+"""Reserved stream name for node-mobility trajectories.
+
+Per-node drift steps derive from ``(seed, "mobility", node)`` so the order
+in which nodes are moved cannot leak randomness between them, and enabling
+mobility never perturbs the fault stream (or any other stream) of a seeded
+run — churn-only and mobility-only plans compose without interference.
 """
 
 
@@ -91,4 +107,15 @@ def fault_rng(base_seed: int, *names: str | int) -> np.random.Generator:
     family around; used by fault models that only ever need their own stream.
     """
     key = "/".join([FAULT_STREAM, *map(str, names)])
+    return np.random.default_rng(derive_seed(base_seed, key))
+
+
+def mobility_rng(base_seed: int, *names: str | int) -> np.random.Generator:
+    """A standalone generator on the mobility stream of *base_seed*.
+
+    Mirrors :func:`fault_rng` on :data:`MOBILITY_STREAM`; the injector
+    sub-splits it per node (``mobility_rng(seed, node)``) so trajectories
+    are independent of each other and of every fault draw.
+    """
+    key = "/".join([MOBILITY_STREAM, *map(str, names)])
     return np.random.default_rng(derive_seed(base_seed, key))

@@ -17,6 +17,14 @@ from .forming import (
     form_clusters,
     voronoi_assignment,
 )
+from .recluster import (
+    ReformResult,
+    StalenessTracker,
+    StalenessTrigger,
+    assignment_staleness,
+    discovered_cluster,
+    reform_cluster,
+)
 from .geometry import (
     as_positions,
     distances_to_point,
@@ -44,6 +52,12 @@ __all__ = [
     "form_clusters",
     "FormedNetwork",
     "cluster_adjacency",
+    "StalenessTrigger",
+    "StalenessTracker",
+    "ReformResult",
+    "discovered_cluster",
+    "reform_cluster",
+    "assignment_staleness",
     "as_positions",
     "pairwise_distances",
     "distances_to_point",

@@ -87,6 +87,28 @@ class Deployment:
         """
         return self._head_reachable
 
+    def with_positions(self, positions: np.ndarray) -> "Deployment":
+        """A copy of this deployment with different sensor positions.
+
+        Mirrors :meth:`Cluster.with_packets`: the adjacency caches
+        (``_sensor_adjacency`` / ``_head_reachable``) have no invalidation
+        path — they are computed once per instance — so position changes
+        (mobility steps, joiner admission) must go through a fresh instance
+        rather than mutate ``positions`` in place and silently serve stale
+        adjacency.  The sensor count may change (joins extend it).
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError(
+                f"positions must be an (n, 2) array, got shape {positions.shape}"
+            )
+        return Deployment(
+            head_position=self.head_position.copy(),
+            positions=positions.copy(),
+            comm_range=self.comm_range,
+            side=self.side,
+        )
+
     def is_connected(self) -> bool:
         """Can every sensor reach the head over sensor-to-sensor hops?"""
         n = self.n_sensors

@@ -35,6 +35,7 @@ class CbrSource:
     rate_bps: float
     packet_bytes: int
     phase: float = 0.0
+    start_at: float = 0.0  # extra delay before the first tick (node joins late)
     generated: int = 0
 
     def start(self, until: float | None = None) -> None:
@@ -42,7 +43,7 @@ class CbrSource:
             return
         self._until = until
         interval = self.packet_bytes / self.rate_bps
-        self.sim.schedule(self.phase + interval, self._tick, interval)
+        self.sim.schedule(self.start_at + self.phase + interval, self._tick, interval)
 
     def _tick(self, interval: float) -> None:
         if self._until is not None and self.sim.now > self._until:
@@ -59,22 +60,28 @@ def attach_cbr_sources(
     packet_bytes: int = 80,
     seed: int = 0,
     until: float | None = None,
+    start_ats: dict[int, float] | None = None,
 ) -> list[CbrSource]:
     """One CBR source per sensor agent (anything with ``generate_packet()``).
 
     Phase offsets are drawn uniformly in one inter-packet interval from a
     dedicated stream, so runs are reproducible and sources are spread out.
+    Phases are drawn in agent order for *every* agent — late joiners must be
+    appended after the existing sensors so the existing phases stay
+    bit-identical — and ``start_ats`` (agent position -> simulation time)
+    delays a source's first packet until its node has actually powered up.
     """
     rng = RngStreams(seed).get("cbr-phase")
     sources: list[CbrSource] = []
     interval = packet_bytes / rate_bps if rate_bps > 0 else 0.0
-    for agent in sensors:
+    for index, agent in enumerate(sensors):
         src = CbrSource(
             sim=sim,
             deliver=agent.generate_packet,
             rate_bps=rate_bps,
             packet_bytes=packet_bytes,
             phase=float(rng.uniform(0.0, interval)) if interval else 0.0,
+            start_at=float(start_ats.get(index, 0.0)) if start_ats else 0.0,
         )
         src.start(until=until)
         sources.append(src)

@@ -68,6 +68,8 @@ __all__ = [
     "check_energy_report",
     "check_delivered_stream",
     "check_backup_routes",
+    "check_dynamic_membership",
+    "check_reform_conservation",
 ]
 
 MODES = ("off", "warn", "strict")
@@ -636,6 +638,93 @@ def check_backup_routes(
                     )
                 claimed[node] = idx
     return found
+
+
+def check_dynamic_membership(
+    solution: "FlowSolution",
+    excluded: Iterable[int],
+    monitor: InvariantMonitor | None = None,
+    sim_time: float | None = None,
+    hint: str = "",
+) -> int:
+    """Dynamic-membership invariant (DESIGN.md §11): no demand is routed to,
+    from, or through a node the head knows to be gone — departed (announced
+    leave), blacklisted, or not yet joined.  Checked on every routing
+    solution the MAC adopts after a repair or a re-form."""
+    mon = _m(monitor)
+    if not mon.enabled:
+        return 0
+    gone = {int(node) for node in excluded}
+    if not gone:
+        return 0
+    found = 0
+    for sensor, bundles in sorted(solution.flow_paths.items()):
+        if sensor in gone and any(units > 0 for _, units in bundles):
+            found += 1
+            mon.record(
+                "dynamic.excluded-routed",
+                f"excluded sensor {sensor} still has "
+                f"{sum(u for _, u in bundles)} units of demand planned",
+                sim_time=sim_time,
+                nodes=(sensor,),
+                hint=hint,
+            )
+        for path, units in bundles:
+            if units <= 0:
+                continue
+            bad = [node for node in path[:-1] if node in gone and node != sensor]
+            if bad:
+                found += 1
+                mon.record(
+                    "dynamic.excluded-routed",
+                    f"sensor {sensor} path {path} relays through excluded "
+                    f"node(s) {bad}",
+                    sim_time=sim_time,
+                    nodes=(sensor, *bad),
+                    hint=hint,
+                )
+    for node in gone:
+        if 0 <= node < len(solution.loads) and int(solution.loads[node]) > 0:
+            found += 1
+            mon.record(
+                "dynamic.excluded-routed",
+                f"excluded node {node} carries planned load "
+                f"{int(solution.loads[node])}",
+                sim_time=sim_time,
+                nodes=(node,),
+                hint=hint,
+            )
+    return found
+
+
+def check_reform_conservation(
+    pending_before: int,
+    pending_after: int,
+    purged: int = 0,
+    monitor: InvariantMonitor | None = None,
+    sim_time: float | None = None,
+    hint: str = "",
+) -> int:
+    """Re-form boundary conservation (DESIGN.md §11): queued application
+    packets survive a cluster re-form — the sum of pending packets across
+    surviving members immediately after the re-form equals the sum just
+    before, minus packets explicitly purged (stranded on newly unreachable
+    nodes).  A re-form reshapes routing state only; it must never silently
+    create or destroy buffered data."""
+    mon = _m(monitor)
+    if not mon.enabled:
+        return 0
+    if pending_after == pending_before - purged:
+        return 0
+    mon.record(
+        "dynamic.reform-conservation",
+        f"re-form changed queued application packets from {pending_before} "
+        f"to {pending_after} with only {purged} explicitly purged "
+        f"(expected {pending_before - purged})",
+        sim_time=sim_time,
+        hint=hint,
+    )
+    return 1
 
 
 def check_delivered_stream(

@@ -57,6 +57,12 @@ def test_resilient_sweep_runs():
     assert "no progress lost" in out
 
 
+def test_churn_recluster_runs():
+    out = run_example("churn_recluster.py")
+    assert "re-form (membership)" in out
+    assert "joiners were admitted, departures repaired" in out
+
+
 @pytest.mark.slow
 def test_environment_monitoring_runs():
     out = run_example("environment_monitoring.py")

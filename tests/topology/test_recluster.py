@@ -1,0 +1,197 @@
+"""Online re-clustering: triggers, tracker, discovery, and the re-form pass.
+
+Pure-computation layer (DESIGN.md §11): the MAC owns *when* these run; here
+we pin down *what* they decide and produce — trigger semantics per reason,
+discovery against the live medium (including after the positions moved),
+and the re-form's exclusion/admission contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.cluster_sim import PollingSimConfig, run_polling_simulation
+from repro.topology import (
+    StalenessTracker,
+    StalenessTrigger,
+    assignment_staleness,
+    discovered_cluster,
+    reform_cluster,
+)
+
+
+# -- trigger validation --------------------------------------------------------
+
+
+def test_trigger_defaults_are_armed():
+    t = StalenessTrigger()
+    assert t.membership_delta == 1
+    assert t.repair_fallbacks == 3
+    assert t.overload_factor == 0.0
+    assert t.period_cycles == 0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"membership_delta": -1},
+        {"repair_fallbacks": -1},
+        {"overload_factor": -0.5},
+        {"period_cycles": -2},
+    ],
+)
+def test_trigger_rejects_negatives(kwargs):
+    with pytest.raises(ValueError):
+        StalenessTrigger(**kwargs)
+
+
+def test_trigger_zero_means_disabled():
+    # A pure-periodic policy must be expressible: every observed-staleness
+    # condition off, only the cadence armed.
+    t = StalenessTrigger(membership_delta=0, repair_fallbacks=0, period_cycles=2)
+    tracker = StalenessTracker(t)
+    tracker.note_join(5)
+    tracker.note_repair()
+    assert tracker.due() is None  # disabled conditions never fire
+    tracker.note_cycle()
+    assert tracker.due() is None
+    tracker.note_cycle()
+    assert tracker.due() == "periodic"
+
+
+# -- tracker / due() semantics -------------------------------------------------
+
+
+def test_membership_delta_counts_joins_and_leaves():
+    tracker = StalenessTracker(StalenessTrigger(membership_delta=2))
+    tracker.note_join(9)
+    assert tracker.due() is None
+    tracker.note_leave(3)
+    assert tracker.due() == "membership"
+
+
+def test_repair_fallbacks_fire_after_threshold():
+    tracker = StalenessTracker(
+        StalenessTrigger(membership_delta=0, repair_fallbacks=2)
+    )
+    tracker.note_repair()
+    assert tracker.due() is None
+    tracker.note_repair()
+    assert tracker.due() == "repairs"
+
+
+def test_overload_consults_loaded_relays_only():
+    tracker = StalenessTracker(
+        StalenessTrigger(membership_delta=0, repair_fallbacks=0, overload_factor=2.0)
+    )
+    balanced = np.array([0.0, 3.0, 3.0, 3.0])  # zeros are non-relays
+    assert tracker.due(balanced) is None
+    skewed = np.array([0.0, 9.0, 1.0, 1.0])  # 9 >= 2.0 * mean(9,1,1)
+    assert tracker.due(skewed) == "overload"
+    assert tracker.due(None) is None  # no loads, no opinion
+
+
+def test_membership_outranks_periodic():
+    tracker = StalenessTracker(StalenessTrigger(period_cycles=1))
+    tracker.note_cycle()
+    tracker.note_join(0)
+    assert tracker.due() == "membership"
+
+
+def test_reset_clears_counters_and_counts_reforms():
+    tracker = StalenessTracker(StalenessTrigger(period_cycles=1))
+    tracker.note_join(1)
+    tracker.note_repair()
+    tracker.note_cycle()
+    tracker.reset()
+    assert tracker.due() is None
+    assert (
+        tracker.joins_pending,
+        tracker.repairs_pending,
+        tracker.cycles_since_reform,
+    ) == (0, 0, 0)
+    assert tracker.reforms == 1
+
+
+# -- discovery against the live medium -----------------------------------------
+
+
+@pytest.fixture(scope="module")
+def finished_run():
+    return run_polling_simulation(
+        PollingSimConfig(n_sensors=12, n_cycles=2, seed=5)
+    )
+
+
+def test_discovered_cluster_matches_deployment(finished_run):
+    phy = finished_run.phy
+    fresh = discovered_cluster(phy)
+    n = phy.n_sensors
+    assert fresh.hears.shape == (n, n)
+    assert fresh.head_hears.shape == (n,)
+    np.testing.assert_array_equal(fresh.positions, phy.medium.positions[:n])
+    # Nothing moved since deploy, so discovery reproduces the formed graph.
+    np.testing.assert_array_equal(fresh.hears, phy.cluster.hears)
+    np.testing.assert_array_equal(fresh.head_hears, phy.cluster.head_hears)
+    # Demand and energy are carried over, not reset.
+    np.testing.assert_array_equal(fresh.packets, phy.cluster.packets)
+
+
+def test_discovered_cluster_sees_moved_positions(finished_run):
+    phy = finished_run.phy
+    moved = phy.medium.positions.copy()
+    moved[0] = [1e6, 1e6]  # node 0 walks out of every link's range
+    phy.medium.update_positions(moved)
+    try:
+        fresh = discovered_cluster(phy)
+        assert not fresh.hears[0].any()
+        assert not fresh.hears[:, 0].any()
+        assert not fresh.head_hears[0]
+        np.testing.assert_array_equal(fresh.positions[0], [1e6, 1e6])
+    finally:
+        moved[0] = phy.cluster.positions[0]
+        phy.medium.update_positions(moved)
+
+
+# -- the re-form pass ----------------------------------------------------------
+
+
+def test_reform_excludes_and_admits(finished_run):
+    phy = finished_run.phy
+    result = reform_cluster(phy, excluded={2}, admitted={7})
+    assert result.excluded == frozenset({2})
+    assert result.admitted == frozenset({7})
+    plan = result.routing.routing_plan()
+    assert 2 not in plan.paths
+    for path in plan.paths.values():
+        assert 2 not in path
+    # Everyone else still reachable on this dense deployment.
+    covered = set(plan.paths) | set(result.repair.uncovered)
+    assert covered == set(range(phy.n_sensors)) - {2}
+
+
+def test_reform_with_no_exclusions_covers_everyone(finished_run):
+    phy = finished_run.phy
+    result = reform_cluster(phy, excluded=set())
+    assert result.repair.uncovered == frozenset()
+    assert set(result.routing.routing_plan().paths) == set(range(phy.n_sensors))
+
+
+# -- network-level staleness gauge ---------------------------------------------
+
+
+def test_assignment_staleness_zero_when_fresh():
+    sensors = np.array([[0.0, 0.0], [10.0, 0.0]])
+    heads = np.array([[0.0, 1.0], [10.0, 1.0]])
+    assign = np.array([0, 1])
+    assert assignment_staleness(sensors, heads, assign) == 0.0
+
+
+def test_assignment_staleness_counts_moved_sensors():
+    sensors = np.array([[0.0, 0.0], [10.0, 0.0]])
+    heads = np.array([[0.0, 1.0], [10.0, 1.0]])
+    stale = np.array([1, 1])  # sensor 0 would pick head 0 today
+    assert assignment_staleness(sensors, heads, stale) == 0.5
+
+
+def test_assignment_staleness_empty_is_zero():
+    assert assignment_staleness(np.empty((0, 2)), np.empty((0, 2)), np.empty(0)) == 0.0
