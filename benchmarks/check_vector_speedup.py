@@ -1,0 +1,65 @@
+"""CI gate: vector engine speedup over the scalar oracle (DESIGN.md §12).
+
+Reads a ``BENCH_vector.json`` produced by ``test_bench_vector.py`` and
+fails (exit 1) unless the scalar sweep's median divided by the vector
+sweep's median meets the required ratio::
+
+    python benchmarks/check_vector_speedup.py BENCH_vector.json --min-ratio 5.0
+
+The two benchmarks time the *same* fig. 4-scale sweep (same seed, same
+grid), so the ratio is a clean engine-vs-engine measurement on one host —
+immune to the cross-machine drift that makes absolute medians coarse.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+VECTOR = "test_bench_fig4_sweep_vector"
+SCALAR = "test_bench_fig4_sweep_scalar"
+
+
+def medians(path: pathlib.Path) -> dict[str, float]:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    return {
+        bench["name"]: float(bench["stats"]["median"])
+        for bench in payload.get("benchmarks", [])
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "json_path",
+        type=pathlib.Path,
+        nargs="?",
+        default=pathlib.Path(__file__).resolve().parent.parent / "BENCH_vector.json",
+    )
+    parser.add_argument("--min-ratio", type=float, default=5.0)
+    args = parser.parse_args(argv)
+
+    med = medians(args.json_path)
+    missing = [n for n in (VECTOR, SCALAR) if n not in med]
+    if missing:
+        print(f"[check_vector_speedup] missing benchmarks: {missing}", file=sys.stderr)
+        return 1
+    ratio = med[SCALAR] / med[VECTOR]
+    print(
+        f"[check_vector_speedup] scalar {med[SCALAR]:.3f}s / "
+        f"vector {med[VECTOR]:.3f}s = {ratio:.2f}x (gate >= {args.min_ratio:.1f}x)"
+    )
+    if ratio < args.min_ratio:
+        print(
+            f"[check_vector_speedup] FAIL: {ratio:.2f}x < {args.min_ratio:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

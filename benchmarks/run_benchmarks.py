@@ -30,6 +30,7 @@ CHEAP_BENCHES = {
     "failover": "test_bench_failover.py",
     "churn": "test_bench_churn.py",
     "obs_overhead": "test_bench_obs_overhead.py",
+    "vector": "test_bench_vector.py",
 }
 
 

@@ -1,0 +1,60 @@
+"""Benchmarks for the vectorized slot engine + solver warm-start (DESIGN.md §12).
+
+``BENCH_vector.json`` couples the two sweep timings CI's ``perf-vector``
+job compares: the shipped configuration (vector engine + cross-trial
+solver cache) against the pre-engine path (scalar oracle, cold solves).
+``check_vector_speedup.py`` asserts the scalar/vector median ratio stays
+above the gate; ``compare_benchmarks.py`` additionally holds both absolute
+numbers inside the 30% regression window.
+
+The workload is the fig. 4-scale sweep (one seeded 60-sensor deployment
+over the offered-load grid).  Both engines must produce identical physics
+— the rows' delivered counts and total energy are cross-checked here, so
+the timing comparison can never silently drift onto diverging simulations.
+"""
+
+from repro.experiments import fig4_sweep
+
+ROUNDS = 3
+
+
+def _check(rows, engine):
+    assert [r["engine"] for r in rows] == [engine] * len(fig4_sweep.DEFAULT_RATES)
+    assert all(r["delivered"] > 0 for r in rows)
+    assert all(r["delivery_ratio"] == 1.0 for r in rows)
+    return {
+        "delivered": tuple(r["delivered"] for r in rows),
+        "energy": tuple(r["energy_j"] for r in rows),
+    }
+
+
+def test_bench_fig4_sweep_vector(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig4_sweep.run(engine="vector", reuse_solver=True),
+        rounds=ROUNDS,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    physics = _check(rows, "vector")
+    # Static sweep: every slot must take the batch path (fallbacks are
+    # deterministic, so any nonzero count is a real eligibility regression).
+    assert all(r["scalar_slots"] == 0 for r in rows)
+    # Grid points 2..n reuse the first solve.
+    assert rows[-1]["solver_hits"] == len(rows) - 1
+    test_bench_fig4_sweep_vector.physics = physics
+
+
+def test_bench_fig4_sweep_scalar(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig4_sweep.run(engine="scalar", reuse_solver=False),
+        rounds=ROUNDS,
+        iterations=1,
+    )
+    physics = _check(rows, "scalar")
+    assert all(r["vector_slots"] == 0 for r in rows)
+    # Engine parity on the benchmark workload itself: identical deliveries
+    # and bit-identical total energy (runs in file order, vector first).
+    prior = getattr(test_bench_fig4_sweep_vector, "physics", None)
+    if prior is not None:
+        assert physics["delivered"] == prior["delivered"]
+        assert physics["energy"] == prior["energy"]

@@ -32,6 +32,10 @@ COMMON = dict(
     polling_cycles=4,
     polling_cycle_length=5.0,
     seed=0,
+    # Engine choice rides through Trial kwargs like any grid parameter;
+    # "vector" (the default) and "scalar" produce bit-identical rows, so
+    # the determinism checks below hold under either.
+    engine="vector",
 )
 
 

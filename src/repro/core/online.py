@@ -604,42 +604,88 @@ class OnlinePollingScheduler:
         return due
 
     def _fill_slot(self, t: int, draw_loss: bool = True) -> None:
-        """Greedy insertion for slot *t* (the paper's inner while loop)."""
-        m = self.oracle.max_group_size
-        inserted: list[PollRequest] = []
+        """Greedy insertion for slot *t* (the paper's inner while loop).
+
+        The fit test is inlined with every attribute lookup hoisted out of
+        the scan: this loop probes tens of requests per slot across tens of
+        thousands of slots per sweep and dominates scheduler time.
+        """
+        oracle = self.oracle
+        m = oracle.max_group_size
+        slots = self.schedule.slots
+        # Only this slot's hop-0 inserts grow group_at(t) during the scan,
+        # so the size is tracked locally instead of re-queried per request.
+        size = len(slots[t]) if t < len(slots) else 0
+        if size >= m:
+            return
+        occupied = self._occupied
+        memo = oracle._seq_memo
+        inserted: list[PollRequest] | None = None
+        # Per-offset context for the current scan epoch (between inserts the
+        # schedule tail is frozen): the slot's occupied-node set, whether it
+        # is already full, its group, and the memo's per-group verdict dict
+        # mapping a candidate link to "may it join this group".  Rebuilding
+        # this per *request* is what used to dominate sweep time.
+        ctx: dict[int, tuple] = {}
+        ctx_get = ctx.get
         for req in self._active_list:
-            if len(self.schedule.group_at(t)) >= m:
+            path = req.path
+            fits = True
+            for k in range(len(path) - 1):
+                c = ctx_get(k)
+                if c is None:
+                    tk = t + k
+                    occ = occupied.get(tk)
+                    group = slots[tk] if tk < len(slots) else None
+                    if group:
+                        gkey = tuple((tx.sender, tx.receiver) for tx in group)
+                        full = len(group) >= m
+                    else:
+                        gkey = ()
+                        full = False
+                    inner = memo.get(gkey)
+                    if inner is None:
+                        inner = memo[gkey] = {}
+                    c = (occ, full, inner.get, inner, group)
+                    ctx[k] = c
+                occ, full, inner_get, inner, group = c
+                if full:
+                    fits = False
+                    break
+                # Pass 1: cheap structural checks (O(1) occupied-node sets).
+                if occ is not None and (path[k] in occ or path[k + 1] in occ):
+                    fits = False
+                    break
+                # Pass 2: radio compatibility of the extended group.  The
+                # same few group shapes recur every slot of every phase, so
+                # probes go through the oracle's group->link memo; only
+                # genuinely new shapes pay for a real group query.
+                link = (path[k], path[k + 1])
+                res = inner_get(link)
+                if res is None:
+                    if group:
+                        links = [tx.link for tx in group]
+                        links.append(link)
+                        res = oracle.compatible(links)
+                    else:
+                        res = oracle.compatible([link])
+                    inner[link] = res
+                if not res:
+                    fits = False
+                    break
+            if not fits:
+                continue
+            self._insert(req, t, draw_loss=draw_loss)
+            ctx.clear()  # the insert grew groups/occupied at t..t+hops
+            if inserted is None:
+                inserted = []
+            inserted.append(req)
+            size += 1
+            if size >= m:
                 break
-            if self._fits(req, t):
-                self._insert(req, t, draw_loss=draw_loss)
-                inserted.append(req)
         if inserted:
             taken = set(id(r) for r in inserted)
             self._active_list = [r for r in self._active_list if id(r) not in taken]
-
-    def _fits(self, req: PollRequest, t: int) -> bool:
-        """Can *req*, started at slot *t*, join the reserved schedule?"""
-        m = self.oracle.max_group_size
-        path = req.path
-        # Pass 1: cheap structural checks (O(1) occupied-node sets).
-        for k in range(req.hop_count):
-            occ = self._occupied.get(t + k)
-            if occ is not None:
-                if len(occ) >= 2 * m:  # slot already holds m transmissions
-                    return False
-                if path[k] in occ or path[k + 1] in occ:
-                    return False
-        # Pass 2: radio compatibility of each extended slot group.
-        for k in range(req.hop_count):
-            group = self.schedule.group_at(t + k)
-            if group:
-                links = [tx.link for tx in group]
-                links.append((path[k], path[k + 1]))
-                if not self.oracle.compatible(links):
-                    return False
-            elif not self.oracle.compatible([(path[k], path[k + 1])]):
-                return False
-        return True
 
     def _insert(self, req: PollRequest, t: int, draw_loss: bool = True) -> None:
         req.mark_scheduled(t)

@@ -4,6 +4,7 @@ Run any figure directly::
 
     python -m repro.experiments.fig2
     python -m repro.experiments.fig4
+    python -m repro.experiments.fig4_sweep
     python -m repro.experiments.fig6
     python -m repro.experiments.fig7a
     python -m repro.experiments.fig7b
@@ -20,6 +21,7 @@ __all__ = [
     "common",
     "fig2",
     "fig4",
+    "fig4_sweep",
     "fig6",
     "fig7a",
     "fig7b",

@@ -109,6 +109,7 @@ def run(
     churn_rates: tuple[float, ...] = (0.0, 0.3, 0.6),
     mobility_speeds: tuple[float, ...] = (0.0, 0.5),
     policies: tuple[str, ...] = POLICIES,
+    engine: str = "vector",
 ) -> list[dict]:
     """One row per (churn rate, mobility speed, policy) grid point.
 
@@ -127,6 +128,7 @@ def run(
                     n_cycles=n_cycles,
                     seed=seed,
                     fault_plan=plan,
+                    engine=engine,
                     **_policy_config(policy),
                 )
                 res = run_polling_simulation(cfg)

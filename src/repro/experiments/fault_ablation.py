@@ -108,6 +108,7 @@ def run(
     n_cycles: int = 12,
     seed: int = 3,
     backup_ks: tuple[int, ...] = (0, 1),
+    engine: str = "vector",
 ) -> list[dict]:
     config = PollingSimConfig(n_sensors=n_sensors, n_cycles=n_cycles, seed=seed)
     rows: list[dict] = []
@@ -120,6 +121,7 @@ def run(
                 fault_plan=plan,
                 dead_after_misses=6 if name.endswith("K6") else 2,
                 backup_k=k,
+                engine=engine,
             )
             res = run_polling_simulation(cfg)
             deg = res.degradation

@@ -1,0 +1,105 @@
+"""Fig. 4-scale DES sweep — the engine-benchmark workload (DESIGN.md §12).
+
+The paper's evaluation is a grid of duty-cycle simulations; this module is
+the repo's canonical *sweep* of that grid: one seeded 60-sensor deployment
+run at several offered loads.  (Not to be confused with
+:mod:`repro.experiments.fig4`, the TSRFP hardness gadget — this sweep is
+the fig. 4-*scale* polling workload the vector engine is benchmarked on.)
+
+Two optimizations shipped together and are both exercised here:
+
+* the **vector slot engine** (``engine="vector"``, the default) replays
+  clean polling slots as closed-form numpy updates, bit-identical to the
+  scalar event path;
+* the **cross-trial solver warm-start cache** (``reuse_solver=True``)
+  shares the Dinic routing / backup solves across grid points — every
+  trial of a sweep uses the same seeded deployment, so only the first
+  pays for the solve.
+
+``BENCH_vector.json`` (benchmarks/test_bench_vector.py) times this sweep
+under both engines and the CI ``perf-vector`` job holds the vector/scalar
+ratio above the regression gate.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from ..net.cluster_sim import PollingSimConfig, run_polling_simulation
+from ..routing.warmcache import SolverCache
+from .common import print_table
+
+__all__ = ["DEFAULT_RATES", "run", "main"]
+
+DEFAULT_RATES = (10.0, 20.0, 40.0)  # per-sensor Bps grid (offered-load axis)
+
+
+def run(
+    rates: tuple[float, ...] = DEFAULT_RATES,
+    n_sensors: int = 60,
+    n_cycles: int = 10,
+    seed: int = 0,
+    engine: str = "vector",
+    reuse_solver: bool = True,
+    backup_k: int = 0,
+) -> list[dict]:
+    """One sweep over the offered-load grid; one row per grid point.
+
+    Rows carry the physical results (delivery, energy) *and* the engine
+    telemetry (wall time, batch coverage) so before/after comparisons can
+    confirm the numbers did not move while the wall time did.
+    """
+    cache = SolverCache() if reuse_solver else None
+    rows: list[dict] = []
+    for rate in rates:
+        t0 = perf_counter()
+        res = run_polling_simulation(
+            PollingSimConfig(
+                n_sensors=n_sensors,
+                rate_bps=rate,
+                n_cycles=n_cycles,
+                seed=seed,
+                engine=engine,
+                solver_cache=cache,
+                backup_k=backup_k,
+            )
+        )
+        wall = perf_counter() - t0
+        energy = sum(trx.meter.consumed_j for trx in res.phy.transceivers)
+        rows.append(
+            {
+                "engine": engine,
+                "rate_bps": rate,
+                "wall_s": wall,
+                "delivered": res.packets_delivered,
+                "delivery_ratio": res.throughput_ratio,
+                "energy_j": energy,
+                "vector_slots": res.mac.vector_slots,
+                "scalar_slots": res.mac.scalar_slots,
+                "solver_hits": cache.stats.routing_hits if cache else 0,
+            }
+        )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--engine",
+        choices=("vector", "scalar", "both"),
+        default="both",
+        help="slot engine to time (default: both, vector first)",
+    )
+    args = parser.parse_args(argv)
+    engines = ("vector", "scalar") if args.engine == "both" else (args.engine,)
+    for engine in engines:
+        rows = run(engine=engine)
+        print_table(f"Fig. 4-scale sweep — engine={engine}", rows)
+        total = sum(r["wall_s"] for r in rows)
+        print(f"total wall: {total:.3f}s\n")
+
+
+if __name__ == "__main__":
+    main()

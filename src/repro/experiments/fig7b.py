@@ -32,6 +32,7 @@ def run(
     polling_cycles: int = 10,
     polling_cycle_length: float = 5.0,
     seed: int = 0,
+    engine: str = "vector",
 ) -> list[dict]:
     rows: list[dict] = []
     for offered in offered_loads:
@@ -44,6 +45,7 @@ def run(
                 cycle_length=polling_cycle_length,
                 n_cycles=polling_cycles,
                 seed=seed,
+                engine=engine,
             )
         )
         rows.append(

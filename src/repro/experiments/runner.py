@@ -25,7 +25,10 @@ Results are normalized to JSON-compatible values (numpy scalars unwrapped,
 tuples listified) before being returned **or** cached, so a pool run, an
 in-process run, and a cache hit all yield identical rows.  Trials must seed
 all randomness from their kwargs (the repo-wide :mod:`repro.sim.rng` named
-streams make this the path of least resistance).
+streams make this the path of least resistance).  The slot-engine switch
+rides through kwargs like any grid knob (``Trial("fig7b", {"engine":
+"scalar"})``); because the engines are bit-identical (DESIGN.md §12) it
+never perturbs cached rows — only how fast misses compute.
 
 Self-healing execution
 ----------------------

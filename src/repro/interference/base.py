@@ -56,6 +56,13 @@ class CompatibilityOracle(ABC):
         # are memoized — the scheduler asks about the same small link
         # universe millions of times across a sweep.
         self._memo: dict[frozenset[Link], bool] = {}
+        # Second-level memo for the online scheduler's fill hot path,
+        # two-level: group-links tuple -> {candidate link -> verdict}.  The
+        # scheduler fetches a group's inner dict once per scan epoch and
+        # answers per-request probes with one small-tuple dict get.  Entries
+        # duplicate _memo results per ordering; query_count semantics are
+        # unchanged because misses delegate to compatible().
+        self._seq_memo: dict[tuple, dict[tuple, bool]] = {}
 
     def compatible(self, links: Sequence[Link]) -> bool:
         """Can all *links* transmit in the same slot without any failing?"""

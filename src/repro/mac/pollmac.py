@@ -26,6 +26,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -39,6 +40,7 @@ from ..interference.physical import PhysicalModelOracle
 from ..radio.packet import BROADCAST_ADDR, DEFAULT_SIZES, Frame, FrameSizes, FrameType
 from ..routing.backup import BackupRoutes, compute_backup_routes
 from ..routing.minmax import FlowSolution, solve_min_max_load
+from ..routing.warmcache import SolverCache
 from ..routing.paths import RoutingPlan
 from ..routing.repair import prune_dead_nodes, repair_routing
 from ..routing.rotation import PathRotator
@@ -48,6 +50,7 @@ from ..sim.units import transmission_time
 from ..topology.cluster import HEAD, Cluster
 from ..topology.recluster import StalenessTracker, StalenessTrigger, reform_cluster
 from .base import ClusterPhy, MacTimings
+from .vector_engine import maybe_vector_engine
 
 __all__ = [
     "AppPacket",
@@ -180,37 +183,50 @@ class PollingSensorAgent:
             self.known_dead = set(payload["blacklist"])
 
     def _on_poll(self, payload) -> None:
+        frame = self.build_response(payload)
+        if frame is None:
+            return
+        self.phy.sim.schedule(
+            self.timings.turnaround, self._transmit_if_possible, frame
+        )
+
+    def build_response(self, payload) -> Frame | None:
+        """Decode a poll and build this sensor's response frame, if any.
+
+        Shared between the scalar event path (:meth:`_on_poll` schedules the
+        frame after the turnaround) and the vector slot engine (which calls
+        this directly at the poll-decode instant): queue/quota side effects
+        and frame construction order are identical in both engines.
+        """
         phase: str = payload["phase"]
         instructions: list[PollInstruction] = payload["instructions"]
         my_sends = [ins for ins in instructions if ins.sender == self.sensor]
         if not my_sends:
-            return
+            return None
         ins = my_sends[0]  # node-disjoint slots: at most one role per sensor
-        delay = self.timings.turnaround
         if phase == "data":
             packet = self._packet_for(ins)
             if packet is None:
-                return  # upstream loss: nothing to relay; stay silent
-            frame = Frame(
+                return None  # upstream loss: nothing to relay; stay silent
+            return Frame(
                 ftype=FrameType.DATA,
                 src=self.phy.phy_index(self.sensor),
                 dst=ins.receiver,
                 size_bytes=self.sizes.data,
                 payload={"instruction": ins, "packet": packet, "cluster": self.cluster_id},
             )
-        else:  # ack phase
-            report = dict(self.ack_buffer.get(ins.request_id, {}))
-            if ins.hop_index == 0:
-                report = {}
-            report[self.sensor] = self.cycle_quota
-            frame = Frame(
-                ftype=FrameType.ACK_REPORT,
-                src=self.phy.phy_index(self.sensor),
-                dst=ins.receiver,
-                size_bytes=self.sizes.ack_report,
-                payload={"instruction": ins, "counts": report, "cluster": self.cluster_id},
-            )
-        self.phy.sim.schedule(delay, self._transmit_if_possible, frame)
+        # ack phase
+        report = dict(self.ack_buffer.get(ins.request_id, {}))
+        if ins.hop_index == 0:
+            report = {}
+        report[self.sensor] = self.cycle_quota
+        return Frame(
+            ftype=FrameType.ACK_REPORT,
+            src=self.phy.phy_index(self.sensor),
+            dst=ins.receiver,
+            size_bytes=self.sizes.ack_report,
+            payload={"instruction": ins, "counts": report, "cluster": self.cluster_id},
+        )
 
     def _packet_for(self, ins: PollInstruction):
         if ins.hop_index == 0:
@@ -334,7 +350,20 @@ class PollingClusterMac:
         absent: set[int] | None = None,
         recluster: str = "off",
         recluster_trigger: StalenessTrigger | None = None,
+        engine: str = "vector",
+        solver_cache: "SolverCache | None" = None,
     ):
+        if engine not in ("scalar", "vector"):
+            raise ValueError(f"engine must be 'scalar' or 'vector', got {engine!r}")
+        self.engine = engine
+        # Cross-phase geometry cache for the vector engine, keyed by
+        # listening-roster bytes (see vector_engine._GeomEntry).
+        self._vector_geom: dict = {}
+        # Engine mix over the whole run (how many slots replayed in batch
+        # mode vs fell back to the event path) — plain counters, kept even
+        # untraced so sweeps and parity tests can report coverage.
+        self.vector_slots = 0
+        self.scalar_slots = 0
         self.phy = phy
         self.sim = phy.sim
         self.cycle_length = cycle_length
@@ -415,8 +444,13 @@ class PollingClusterMac:
         self.head_trx = phy.trx(HEAD)
         self.head_trx.on_receive(self._head_on_frame)
         # Routing is computed once from average traffic (Sec. III-A: "run the
-        # network flow algorithm once every long time period").
-        self.routing = routing or solve_min_max_load(self._planning_cluster())
+        # network flow algorithm once every long time period").  A sweep's
+        # solver cache answers repeat topologies bit-for-bit from memory
+        # (the solve is deterministic), so trials sharing a deployment skip
+        # the Dinic work entirely (DESIGN.md §12).
+        self.solver_cache = solver_cache
+        self._adopt_oracle()
+        self.routing = routing or self._solve_routing()
         self.rotator = PathRotator(self.routing)
         self.ack_plan = plan_ack_collection(self.active_cluster, self.routing.routing_plan())
         # Proactive survivability (backup_k > 0): k-disjoint backup paths
@@ -461,9 +495,25 @@ class PollingClusterMac:
                 self.oracle.max_group_size
             )
 
+    def _adopt_oracle(self) -> None:
+        """Hook the freshly built SINR oracle into the sweep's shared memo
+        (no-op without a cache; see ``SolverCache.adopt_oracle``)."""
+        if self.solver_cache is not None:
+            self.solver_cache.adopt_oracle(self.oracle)
+
+    def _solve_routing(self) -> FlowSolution:
+        """Min-max solve for the current planning cluster, via the sweep's
+        warm-start cache when one is attached."""
+        planning = self._planning_cluster()
+        if self.solver_cache is not None:
+            return self.solver_cache.routing_for(planning)
+        return solve_min_max_load(planning)
+
     def _compute_backups(self) -> BackupRoutes | None:
         if self.backup_k <= 0:
             return None
+        if self.solver_cache is not None:
+            return self.solver_cache.backups_for(self.routing, self.backup_k)
         return compute_backup_routes(self.routing, self.backup_k)
 
     def _planning_cluster(self) -> Cluster:
@@ -519,6 +569,7 @@ class PollingClusterMac:
             agent.phy = new_phy
         self.sensors = list(self.sensors) + list(new_agents)
         self.oracle = phy_truth_oracle(new_phy, self.oracle.max_group_size)
+        self._adopt_oracle()
         base = new_phy.cluster.with_packets(
             np.maximum(new_phy.cluster.packets, 1)
         )
@@ -591,6 +642,15 @@ class PollingClusterMac:
     # -- head frame reception ----------------------------------------------------------
 
     def _head_on_frame(self, frame: Frame, rx_power: float) -> None:
+        self._head_receive(frame, self.sim.now)
+
+    def _head_receive(self, frame: Frame, now: float) -> None:
+        """Head-side frame effects at reception time *now*.
+
+        The vector slot engine calls this with the decode instant it
+        computed in closed form (the kernel clock still sits at slot start),
+        so delivery timestamps match the scalar path exactly.
+        """
         payload = frame.payload
         if isinstance(payload, dict) and payload.get("cluster", self.cluster_id) != self.cluster_id:
             return
@@ -600,7 +660,7 @@ class PollingClusterMac:
                 self._arrived_requests.add(ins.request_id)
                 packet = frame.payload["packet"]
                 self._delivered_packets.append(packet)
-                self.delivery_times.append((self.sim.now, packet.origin))
+                self.delivery_times.append((now, packet.origin))
         elif frame.ftype is FrameType.ACK_REPORT:
             ins = frame.payload["instruction"]
             if ins.receiver == HEAD:
@@ -679,6 +739,13 @@ class PollingClusterMac:
             telemetry_clock=("sim", lambda: self.sim.now),
         )
         slot_time = self._slot_time(payload_bytes)
+        # Batch engine (DESIGN.md §12): clean slots replay as closed-form
+        # array ops; dirty slots (pending fault/wake events, live carriers,
+        # shared media, tracer subscribers) fall through to the event path.
+        vector = maybe_vector_engine(self, payload_bytes)
+        batch_total = 0
+        batch_max = 0
+        wall_start = perf_counter() if tel_enabled else 0.0
         self._arrived_requests = set()
         t = 0
         while not scheduler.all_done:
@@ -695,6 +762,9 @@ class PollingClusterMac:
                 self._tel.metrics.histogram("mac.group_size").observe(
                     float(len(group))
                 )
+                batch_total += len(group)
+                if len(group) > batch_max:
+                    batch_max = len(group)
             instructions = [
                 PollInstruction(
                     sender=tx.sender,
@@ -704,13 +774,19 @@ class PollingClusterMac:
                 )
                 for tx in group
             ]
-            self._broadcast(
-                FrameType.POLL,
-                self.sizes.poll,
-                {"phase": phase, "slot": t, "instructions": instructions},
-            )
+            payload = {"phase": phase, "slot": t, "instructions": instructions}
+            if vector is None or not vector.try_slot(
+                {**payload, "cluster": self.cluster_id}, group
+            ):
+                self._broadcast(FrameType.POLL, self.sizes.poll, payload)
             yield Timeout(slot_time)
             t += 1
+        if vector is not None:
+            vector.flush()
+            self.vector_slots += vector.vector_slots
+            self.scalar_slots += t - vector.vector_slots
+        else:
+            self.scalar_slots += t
         retx = scheduler.pool.total_attempts() - len(scheduler.pool.requests)
         if scheduler.failover_events:
             self.in_cycle_failovers += len(scheduler.failover_events)
@@ -729,13 +805,29 @@ class PollingClusterMac:
             f"{len(scheduler.pool.requests)} requests",
         )
         if tel_enabled:
+            # Batched-path attribution: with the vector engine most slots
+            # never hit the kernel, so wall profiling must come from the
+            # phase loop itself — report engine mix, batch sizes, and the
+            # per-slot amortized wall cost so obs/profile hot-path reports
+            # stay meaningful (DESIGN.md §12).
+            wall_s = perf_counter() - wall_start
+            vector_slots = vector.vector_slots if vector is not None else 0
             self._tel.finish(
                 phase_span,
                 self.sim.now,
                 slots=t,
                 retransmissions=retx,
                 failed=len(scheduler.failed),
+                engine="vector" if vector is not None else "scalar",
+                vector_slots=vector_slots,
+                scalar_slots=t - vector_slots,
+                batch_max=batch_max,
+                batch_mean=(batch_total / t) if t else 0.0,
+                wall_s=wall_s,
+                slot_wall_us=(wall_s / t * 1e6) if t else 0.0,
             )
+            self._tel.metrics.counter("mac.vector_slots").inc(vector_slots)
+            self._tel.metrics.counter("mac.scalar_slots").inc(t - vector_slots)
         return t, retx, scheduler
 
     def _run_sectored(self, counts, cycle_start: float):
@@ -922,7 +1014,7 @@ class PollingClusterMac:
                 },
             }
         )
-        self.routing = solve_min_max_load(self._planning_cluster())
+        self.routing = self._solve_routing()
         self.rotator = PathRotator(self.routing)
         self.ack_plan = plan_ack_collection(
             self.active_cluster, self.routing.routing_plan()
@@ -999,6 +1091,7 @@ class PollingClusterMac:
         # The planning oracle re-captures the medium's *current* receive
         # powers — this is the one place mobility staleness is repaid.
         self.oracle = phy_truth_oracle(self.phy, self.oracle.max_group_size)
+        self._adopt_oracle()
         self.rotator = PathRotator(self.routing)
         self.ack_plan = plan_ack_collection(
             self.active_cluster, self.routing.routing_plan()

@@ -26,6 +26,7 @@ from ..metrics.degradation import DegradationReport, degradation_report
 from ..metrics.staleness import StalenessReport, staleness_report
 from ..radio.energy import EnergyParams
 from ..radio.packet import DEFAULT_SIZES, FrameSizes
+from ..routing.warmcache import SolverCache
 from ..sim.kernel import Simulator
 from ..topology.cluster import Cluster
 from ..topology.deployment import Deployment, uniform_square
@@ -92,6 +93,16 @@ class PollingSimConfig:
     # plan is the exact pre-churn code path, bit for bit.
     recluster: str = "off"
     recluster_trigger: StalenessTrigger | None = None
+    # Slot execution engine (DESIGN.md §12): "vector" (default) batches
+    # clean polling slots into closed-form numpy updates, "scalar" forces
+    # the event-at-a-time oracle.  The two are bit-identical by contract.
+    engine: str = "vector"
+    # Cross-trial solver warm-start cache (DESIGN.md §12): pass one
+    # SolverCache to every trial of a sweep and grid points sharing a
+    # topology fingerprint reuse the Dinic routing + backup solves
+    # bit-for-bit instead of recomputing them.  None (the default) solves
+    # cold, exactly as before.
+    solver_cache: SolverCache | None = None
     # Telemetry (repro.obs).  False (the default) is the exact untraced
     # code path, bit for bit — unless a collector was already activated
     # around the call with ``obs.use(...)``, which this flag cannot turn
@@ -280,6 +291,8 @@ def run_polling_simulation(
             absent=set(joiner_ids) or None,
             recluster=config.recluster,
             recluster_trigger=config.recluster_trigger,
+            engine=config.engine,
+            solver_cache=config.solver_cache,
         )
         if injector is not None:
             # Churn events (join/leave) report straight to the head MAC; the

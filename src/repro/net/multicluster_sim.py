@@ -97,6 +97,12 @@ class MultiClusterConfig:
     # (an ambient obs.use(...) scope still traces); True attaches a
     # run-local collector to ``MultiClusterResult.telemetry``.
     telemetry: bool = False
+    # Slot engine request (DESIGN.md §12).  Multi-cluster PHYs share one
+    # medium through ``index_map``, which the batch engine's eligibility
+    # gate rejects, so "vector" currently runs scalar slots here — the knob
+    # exists so the config surface matches PollingSimConfig and single-
+    # cluster fast paths engage automatically if that gate ever loosens.
+    engine: str = "vector"
 
 
 @dataclass(frozen=True)
@@ -540,7 +546,8 @@ def _run_multicluster(
             local_cluster = local_cluster.with_packets(packets)
         phy.cluster = local_cluster
         mac = PollingClusterMac(
-            phy, cycle_length=config.cycle_length, cluster_id=h
+            phy, cycle_length=config.cycle_length, cluster_id=h,
+            engine=config.engine,
         )
         macs.append(mac)
         all_agents.append(mac.sensors)

@@ -37,12 +37,17 @@ class EnergyParams:
     battery_j: float = 100.0
 
     def power(self, state: RadioState) -> float:
-        return {
-            RadioState.SLEEP: self.sleep_w,
-            RadioState.IDLE: self.idle_w,
-            RadioState.RX: self.rx_w,
-            RadioState.TX: self.tx_w,
-        }[state]
+        # Branch chain instead of a throwaway dict: this sits on the meter's
+        # per-state-change hot path (IDLE and RX dominate polling runs).
+        if state is RadioState.IDLE:
+            return self.idle_w
+        if state is RadioState.RX:
+            return self.rx_w
+        if state is RadioState.TX:
+            return self.tx_w
+        if state is RadioState.SLEEP:
+            return self.sleep_w
+        raise KeyError(state)
 
     def validate(self) -> None:
         if min(self.sleep_w, self.idle_w, self.rx_w, self.tx_w) <= 0:

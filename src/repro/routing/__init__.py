@@ -15,6 +15,7 @@ from .tables import (
     source_route_overhead_bytes,
 )
 from .tree import RelayTree, merge_flow_to_tree
+from .warmcache import SolverCache, SolverCacheStats, topology_fingerprint
 
 __all__ = [
     "FlowNetwork",
@@ -28,6 +29,9 @@ __all__ = [
     "PathRotator",
     "BackupRoutes",
     "compute_backup_routes",
+    "SolverCache",
+    "SolverCacheStats",
+    "topology_fingerprint",
     "RepairResult",
     "prune_dead_nodes",
     "repair_routing",

@@ -52,6 +52,11 @@ class CbrSource:
         self.generated += 1
         self.sim.schedule(interval, self._tick, interval)
 
+    # CBR ticks only append to application queues; they never touch radio or
+    # meter state, so the vector slot engine may batch across them (the
+    # kernel's quiet_until() skips callbacks carrying this marker).
+    _tick._radio_neutral = True
+
 
 def attach_cbr_sources(
     sim: Simulator,

@@ -1,0 +1,154 @@
+"""Unit regressions for the vector engine's bit-exactness plumbing.
+
+The batch path's never-diverge contract (DESIGN.md §12) hangs on details
+that are invisible to normal correctness testing — IEEE summation order,
+fancy-vs-basic indexing, zero-dt handling.  These tests pin each one at
+the unit level with inputs chosen so any reordering *visibly* changes the
+last bits, catching "harmless" refactors (e.g. swapping ``ordered_sum``
+for ``ndarray.sum``) long before a golden-fingerprint run would.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mac.vector_engine import VectorRadioBank, _as_index, ordered_sum
+from repro.radio.energy import EnergyMeter, EnergyParams, RadioState
+
+# Magnitudes straddling ~2^53 in relative spread: the order in which these
+# are added determines which low bits survive, so left-to-right and
+# pairwise-tree accumulation give different float results.
+ADVERSARIAL = [1e16, 1.0, -1e16, 1.0, 3.0, 1e-8, 7e7, -3.0, 1e16, 1e-8]
+
+
+def _columns(n_radios=5, seed=0, repeats=30):
+    # > 128 terms: numpy's pairwise-summation blocking only reassociates
+    # above its block size, so shorter lists would sum sequentially and
+    # the divergence test below would lose its teeth.
+    rng = np.random.default_rng(seed)
+    cols = []
+    for base in ADVERSARIAL * repeats:
+        cols.append(base * (1.0 + 0.1 * rng.standard_normal(n_radios)))
+    return cols
+
+
+def test_ordered_sum_matches_scalar_left_to_right():
+    cols = _columns()
+    got = ordered_sum(cols)
+    for i in range(cols[0].size):
+        acc = float(cols[0][i])
+        for col in cols[1:]:
+            acc = acc + float(col[i])  # one IEEE add per step, scalar order
+        assert got[i] == acc
+        assert float(got[i]).hex() == acc.hex()
+
+
+def test_ordered_sum_diverges_from_pairwise_reduction():
+    # The proof the test above has teeth: numpy's reduction reassociates
+    # (pairwise summation), which rounds differently on this input.  If
+    # this ever starts passing with equality, the adversarial input has
+    # gone stale and the left-to-right test no longer guards anything.
+    cols = _columns()
+    ordered = ordered_sum(cols)
+    # The tempting refactor: stack the columns and sum along the fast
+    # axis.  That contiguous reduction is where numpy applies pairwise
+    # (blocked) summation, so the last bits differ.
+    stacked = np.ascontiguousarray(np.vstack(cols).T)
+    pairwise = stacked.sum(axis=1)
+    assert not np.array_equal(ordered, pairwise)
+
+
+def test_ordered_sum_empty_and_ownership():
+    assert ordered_sum([]) is None
+    first = np.array([1.0, 2.0])
+    out = ordered_sum([first])
+    assert np.array_equal(out, first)
+    out[0] = 99.0  # must be a copy, never a view into the cached column
+    assert first[0] == 1.0
+
+
+def test_as_index_contiguous_becomes_slice():
+    idx = np.array([3, 4, 5, 6])
+    out = _as_index(idx)
+    assert out == slice(3, 7)
+    base = np.arange(10) * 1.5
+    assert np.array_equal(base[out], base[idx])
+
+
+def test_as_index_noncontiguous_and_singleton_pass_through():
+    gap = np.array([1, 2, 5])
+    assert _as_index(gap) is gap
+    single = np.array([4])
+    assert _as_index(single) is single
+
+
+def test_as_index_requires_sorted_input():
+    # The contiguity check (last - first + 1 == size) is only meaningful on
+    # sorted input: this permutation satisfies it yet is NOT the span
+    # {1, 2, 3}.  Callers must sort first (see _GroupCache.t2_ix) — this
+    # test documents the hazard so the precondition is never "simplified"
+    # away.
+    unsorted = np.array([1, 3, 2, 4, 5])
+    out = _as_index(unsorted)
+    assert isinstance(out, slice)  # the check passes...
+    base = np.arange(10) * 2.0
+    assert np.array_equal(base[out], np.sort(base[unsorted]))  # ...as a SET
+    assert not np.array_equal(base[out], base[unsorted])  # ...not as a SEQ
+
+
+class _StubTrx:
+    """Just enough transceiver surface for VectorRadioBank."""
+
+    def __init__(self, params, state, last_change, consumed):
+        self.meter = EnergyMeter(params=params)
+        self.meter.state = state
+        self.meter.last_change = last_change
+        self.meter.consumed_j = consumed
+        self._listening = True
+        self._listen_since = last_change
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.frames_garbled = 0
+
+
+def test_bank_shift_replays_meter_bit_for_bit():
+    # Heterogeneous power params + an awkward consumed_j offset so the
+    # multiply-add rounding is exercised, not just zeros.
+    radios = []
+    meters = []
+    for i in range(6):
+        params = EnergyParams(idle_w=13.5e-3 * (1 + 0.013 * i))
+        radios.append(_StubTrx(params, RadioState.IDLE, 0.1 + i * 1e-7, 0.3 + i * 0.07))
+        ref = EnergyMeter(params=params)
+        ref.state = RadioState.IDLE
+        ref.last_change = 0.1 + i * 1e-7
+        ref.consumed_j = 0.3 + i * 0.07
+        meters.append(ref)
+
+    bank = VectorRadioBank(radios)
+    bank.load()
+    from repro.mac.vector_engine import IDLE, RX
+
+    t1 = 0.1 + 1.0 / 3.0  # not exactly representable: real rounding happens
+    bank.shift(np.arange(6), t1, IDLE, RX)
+    # dt == 0 second shift on radio 0: exact +0.0, same as the scalar
+    # meter's else-branch (which skips the add entirely).
+    bank.shift(np.array([0]), t1, RX, RX)
+    bank.store()
+
+    for i, (trx, ref) in enumerate(zip(radios, meters)):
+        ref.change_state(RadioState.RX, t1)
+        if i == 0:
+            ref.change_state(RadioState.RX, t1)
+        assert trx.meter.consumed_j.hex() == ref.consumed_j.hex()
+        assert trx.meter.last_change == ref.last_change
+        assert trx.meter.state is ref.state
+        assert trx.meter.dwell_s == ref.dwell_s
+
+
+def test_bank_shift_empty_index_is_noop():
+    radios = [_StubTrx(EnergyParams(), RadioState.IDLE, 0.0, 0.0)]
+    bank = VectorRadioBank(radios)
+    bank.load()
+    before = bank.consumed.copy()
+    bank.shift(np.array([], dtype=np.int64), 5.0, 1, 2)
+    assert np.array_equal(bank.consumed, before)
