@@ -29,6 +29,7 @@ CHEAP_BENCHES = {
     "core_kernels": "test_bench_core_kernels.py",
     "failover": "test_bench_failover.py",
     "churn": "test_bench_churn.py",
+    "handoff": "test_bench_handoff.py",
     "obs_overhead": "test_bench_obs_overhead.py",
     "vector": "test_bench_vector.py",
 }

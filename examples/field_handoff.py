@@ -1,0 +1,61 @@
+"""Field-level re-forming: cross-cluster handoff under mobility (DESIGN.md §13).
+
+Three Voronoi-formed clusters share a 360 m field; every sensor drifts at
+4 m/s.  The deploy-time forming decays — boundary sensors end up closer to
+(and often only reachable by) a different head than the one still polling
+them — and the run is repeated under the field-level handoff policies:
+
+* ``off``        — PR 6's frozen forming: drifted sensors stay on their
+  deploy-time roster until it can no longer reach them;
+* ``staleness``  — the field coordinator re-runs the forming over live
+  positions when enough sensors are misassigned, handing a bounded batch
+  per boundary to their nearest live head (radio retune + queue transplant
+  + CBR re-target; demand merged by boundary repair);
+* ``placement``  — the same, plus one bounded quantization step of head
+  re-placement per re-form (heads chase their cells' centroids).
+
+Same seed, same drift — only the re-forming policy differs.
+
+Run:  python examples/field_handoff.py
+"""
+
+from repro.net import MultiClusterConfig, run_multicluster_simulation
+
+BASE = dict(n_cycles=10, seed=0, mobility_speed_mps=4.0)
+
+POLICIES = {
+    "off": dict(handoff="off"),
+    "staleness": dict(handoff="staleness"),
+    "placement": dict(handoff="staleness", handoff_head_step_m=6.0),
+}
+
+print("60 sensors / 3 heads, 4 m/s drift, 10 cycles")
+print(f"{'policy':<11} {'delivered':>9} {'staleness':>9} {'coverage':>8} "
+      f"{'reforms':>7} {'handoffs':>8}")
+results = {}
+for name, knobs in POLICIES.items():
+    res = run_multicluster_simulation(MultiClusterConfig(**BASE, **knobs))
+    results[name] = res
+    print(f"{name:<11} {res.packets_delivered:>9} "
+          f"{res.final_assignment_staleness:>9.3f} {res.field_coverage:>8.3f} "
+          f"{res.field_reforms:>7} {res.field_handoffs:>8}")
+
+coord = results["staleness"].field_coordinator
+for entry in coord.reform_log:
+    print(f"  t={entry['time']:>5.1f} s  re-form ({entry['reason']}): "
+          f"committed {entry['committed']}, aborted {entry['aborted']}, "
+          f"staleness was {entry['staleness']:.3f}")
+
+off, on = results["off"], results["staleness"]
+assert on.field_handoffs >= 1
+assert on.packets_delivered > off.packets_delivered
+assert on.final_assignment_staleness < off.final_assignment_staleness
+assert on.field_coverage >= off.field_coverage
+assert off.field_coordinator is None  # off really is off
+
+traj_off = off.staleness_trajectory
+traj_on = on.staleness_trajectory
+print(f"\nstaleness trajectory off: {[round(s, 3) for s in traj_off]}")
+print(f"staleness trajectory on : {[round(s, 3) for s in traj_on]}")
+print("drifted sensors were handed to their nearest live head; "
+      "the forming stayed fresh.")

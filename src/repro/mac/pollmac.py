@@ -364,6 +364,9 @@ class PollingClusterMac:
         # untraced so sweeps and parity tests can report coverage.
         self.vector_slots = 0
         self.scalar_slots = 0
+        # Why phases that *requested* the vector engine ran scalar slots
+        # anyway (reason -> per-phase count; see maybe_vector_engine).
+        self.engine_fallbacks: dict[str, int] = {}
         self.phy = phy
         self.sim = phy.sim
         self.cycle_length = cycle_length
@@ -461,6 +464,13 @@ class PollingClusterMac:
         self.in_cycle_failovers = 0
         self.adoptions = 0
         self.halted = False
+        # True while the head process is inside a duty cycle (between the
+        # wakeup broadcast and the post-sleep idle wait).  External
+        # coordinators (field-level handoff) consult it to defer roster
+        # surgery on a head that is mid-cycle — e.g. token-mode windows that
+        # straddle the shared boundary — instead of yanking the PHY out from
+        # under a running phase.
+        self.mid_cycle = False
         # (sim time, origin) per delivered data packet — availability
         # metrics derive time-to-recover from this; append-only bookkeeping
         # with no event or RNG impact, so backup_k=0 stays bit-for-bit.
@@ -590,6 +600,100 @@ class PollingClusterMac:
         self.route_repairs += 1
         self.adoptions += len(new_agents)
         return len(new_agents)
+
+    def reform_membership(
+        self,
+        new_phy: ClusterPhy,
+        new_agents: list[PollingSensorAgent],
+        blacklisted: set[int] = frozenset(),
+        departed: set[int] = frozenset(),
+        absent: set[int] = frozenset(),
+        suspect_misses: dict[int, int] | None = None,
+    ) -> None:
+        """Replace this head's entire roster after a field-level re-form.
+
+        Where :meth:`adopt_sensors` only *extends* a cluster (a dead
+        neighbor's orphans append, everyone keeps their local id), a
+        cross-cluster handoff both shrinks the source and grows the
+        destination, so local ids are reassigned wholesale: *new_agents* is
+        the complete new sensor list (one fresh agent per member, already
+        holding the transplanted queues with re-stamped origins), and the
+        exclusion state — *blacklisted*, *departed*, *absent*,
+        *suspect_misses* — arrives already remapped to the new local ids by
+        the coordinator, which owns the global-id view.  Carrying that
+        evidence across the re-form is deliberate: a sensor's suspicion or
+        blacklist entry follows it to its new head instead of resetting,
+        so a dying node cannot launder its record by drifting over a
+        Voronoi border (the per-cluster :meth:`_recluster` clears suspicion
+        because *its* topology changed; here the sensor's evidence moved
+        with the sensor).
+
+        Demand migrates incrementally through
+        :func:`~repro.routing.repair.repair_routing` over the rediscovered
+        topology — never a cold re-solve — and backup bundles/ack plans are
+        rebuilt through the attached :class:`~repro.routing.warmcache.
+        SolverCache` when one is present (repeat topologies along a handoff
+        sequence answer from the cache bit-for-bit).
+        """
+        self.phy = new_phy
+        self.sensors = list(new_agents)
+        self.blacklisted = set(blacklisted)
+        self.departed = set(departed)
+        self.absent = set(absent)
+        self._suspect_misses = dict(suspect_misses or {})
+        # Pending joins were keyed to the old local ids; field-scope
+        # re-forms re-evaluate membership wholesale, so the queue restarts.
+        self.pending_joins = set()
+        self._new_departures = set()
+        self.oracle = phy_truth_oracle(new_phy, self.oracle.max_group_size)
+        self._adopt_oracle()
+        base = new_phy.cluster.with_packets(
+            np.maximum(new_phy.cluster.packets, 1)
+        )
+        excluded = self._excluded()
+        result = repair_routing(base, excluded)
+        self.active_cluster = result.cluster
+        self.unreachable = set(result.uncovered)
+        self.routing = result.solution
+        self.rotator = PathRotator(self.routing)
+        self.ack_plan = plan_ack_collection(
+            self.active_cluster, self.routing.routing_plan()
+        )
+        if self.partition is not None:
+            from ..core.sectors import partition_into_sectors
+
+            self.partition = partition_into_sectors(self.routing, oracle=self.oracle)
+        self.backups = self._compute_backups()
+        self.route_history.append((self.sim.now, self.routing))
+        self.route_repairs += 1
+        # Local ids changed, so "newly unreachable" cannot diff against the
+        # pre-reform set; log every currently stranded member's pending
+        # demand so dropped-demand reconciliation still sees the handoff.
+        self.repair_log.append(
+            {
+                "time": self.sim.now,
+                "blacklisted": sorted(self.blacklisted),
+                "departed": sorted(self.departed),
+                "unreachable": sorted(self.unreachable),
+                "newly_unreachable": sorted(self.unreachable),
+                "dropped_pending": {
+                    i: self.sensors[i].pending_count
+                    for i in sorted(self.unreachable)
+                },
+            }
+        )
+        # The next wakeup re-announces the roster and schedule (2 bytes per
+        # present member), exactly like an in-cluster re-form.
+        self._reform_roster_bytes = 2 * (new_phy.n_sensors - len(excluded))
+        _validate.check_dynamic_membership(
+            self.routing,
+            excluded,
+            sim_time=self.sim.now,
+            hint=f"cluster {self.cluster_id} field re-form "
+            f"#{self.route_repairs}",
+        )
+        if self._tel_enabled:
+            self._tel.metrics.counter("mac.field_reforms").inc()
 
     # -- dynamic membership (churn) ---------------------------------------------------
 
@@ -1189,6 +1293,7 @@ class PollingClusterMac:
         sim = self.sim
         for cycle in range(n_cycles):
             cycle_start = sim.now
+            self.mid_cycle = True
             offered = sum(s.pending_count for s in self.sensors)
             delivered_before = self.packets_delivered
             self._phase_schedulers = []
@@ -1346,6 +1451,7 @@ class PollingClusterMac:
                 self._cycle_span = None
             # Wait out the rest of the cycle (the head may idle or serve the
             # second-layer network; sensors are asleep).
+            self.mid_cycle = False
             if next_wake > sim.now:
                 yield Timeout(next_wake - sim.now)
         return len(self.cycle_stats)

@@ -48,6 +48,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .. import obs as _obs
 from ..radio.energy import RadioState
 from ..radio.packet import Frame, FrameType
 from ..sim.units import transmission_time
@@ -613,20 +614,39 @@ def maybe_vector_engine(
     sit on different channels, a tracer consumer needs per-event records,
     or a garble callback is installed (S-MAC statistics) — every situation
     where per-event fidelity is observable from outside the slot.
+
+    Each silent fallback is counted with its reason — on
+    ``mac.engine_fallbacks`` always, and as an ``engine.scalar_fallback.
+    <reason>`` obs counter when telemetry is active — so a run that
+    *requested* the vector engine but ran scalar slots (every multi-cluster
+    PHY today; see DESIGN.md §12/§13) shows up as a gated eligibility
+    decision rather than masquerading as a perf regression.  The scalar
+    *request* itself (``engine="scalar"``) is not a fallback and stays
+    uncounted.
     """
     if mac.engine != "vector":
         return None
     phy = mac.phy
     if phy.index_map is not None:
-        return None
+        return _scalar_fallback(mac, "index_map")
     med = phy.medium
     tracer = med.tracer
     if tracer._subs or tracer._all_subs or tracer.keep_records:
-        return None
+        return _scalar_fallback(mac, "tracer")
     ch = med.channels
     if ch.size and bool(np.any(ch != ch[0])):
-        return None
+        return _scalar_fallback(mac, "channels")
     for trx in phy.transceivers:
         if trx._garble_callback is not None:
-            return None
+            return _scalar_fallback(mac, "garble_callback")
     return VectorPhaseEngine(mac, payload_bytes)
+
+
+def _scalar_fallback(mac: "PollingClusterMac", reason: str) -> None:
+    """Record one per-phase scalar fallback under *reason*; returns None."""
+    counts = mac.engine_fallbacks
+    counts[reason] = counts.get(reason, 0) + 1
+    tel = _obs.current()
+    if tel.enabled:
+        tel.metrics.counter(f"engine.scalar_fallback.{reason}").inc()
+    return None

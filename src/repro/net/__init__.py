@@ -10,6 +10,8 @@ from .coloring import greedy_coloring, is_proper_coloring, six_color_planar
 from .multicluster import TokenSchedule, assign_channels, concurrency_gain
 from .multicluster_sim import (
     AdoptionEvent,
+    FieldHandoffEvent,
+    FieldReformCoordinator,
     HeadFailoverCoordinator,
     MultiClusterConfig,
     MultiClusterResult,
@@ -32,6 +34,8 @@ __all__ = [
     "MultiClusterConfig",
     "MultiClusterResult",
     "AdoptionEvent",
+    "FieldHandoffEvent",
+    "FieldReformCoordinator",
     "HeadFailoverCoordinator",
     "run_multicluster_simulation",
     "assign_channels",

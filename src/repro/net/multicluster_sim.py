@@ -28,6 +28,7 @@ from time import perf_counter
 import numpy as np
 
 from .. import obs as _obs
+from .. import validate as _validate
 from ..core.online import OnlinePollingScheduler
 from ..mac.base import (
     GROUND_SENSOR_PROPAGATION,
@@ -40,13 +41,20 @@ from ..radio.channel import RadioMedium
 from ..radio.energy import EnergyParams
 from ..radio.packet import DEFAULT_SIZES
 from ..radio.transceiver import Transceiver
+from ..routing.warmcache import SolverCache
 from ..faults.injector import FaultInjector
 from ..sim.kernel import Simulator
 from ..sim.rng import RngStreams, mobility_rng
 from ..sim.trace import Tracer
-from ..topology.cluster import Cluster
+from ..topology.cluster import HEAD, Cluster
 from ..topology.forming import FormedNetwork, form_clusters
-from ..topology.recluster import assignment_staleness
+from ..topology.handoff import (
+    FieldReformPlan,
+    FieldStalenessTracker,
+    plan_field_reform,
+    serving_staleness,
+)
+from ..topology.recluster import StalenessTrigger, assignment_staleness
 from .cluster_sim import cluster_from_phy
 from .coloring import six_color_planar
 from ..topology.forming import cluster_adjacency
@@ -56,7 +64,9 @@ __all__ = [
     "MultiClusterConfig",
     "MultiClusterResult",
     "AdoptionEvent",
+    "FieldHandoffEvent",
     "HeadFailoverCoordinator",
+    "FieldReformCoordinator",
     "run_multicluster_simulation",
 ]
 
@@ -103,6 +113,30 @@ class MultiClusterConfig:
     # exists so the config surface matches PollingSimConfig and single-
     # cluster fast paths engage automatically if that gate ever loosens.
     engine: str = "vector"
+    # Field-level re-forming (DESIGN.md §13).  "off" (the default) arms
+    # nothing: no coordinator, no scheduled events, no extra computation —
+    # the exact pre-handoff code path, bit for bit, per-radio energy floats
+    # included.  "staleness" re-runs the Voronoi forming over *live*
+    # positions whenever the field-scope staleness trigger fires and hands
+    # a bounded batch of sensors to their nearest live head; "periodic"
+    # re-forms on a fixed cycle cadence regardless of drift.
+    handoff: str = "off"  # "off" | "staleness" | "periodic"
+    handoff_trigger: "StalenessTrigger | None" = None
+    handoff_max_moves: int = 8  # handoffs per boundary (backlog defers)
+    handoff_head_step_m: float = 0.0  # quantization placement step budget
+    # The prepare->commit lead: moves are planned and radios retuned this
+    # long before the boundary (inside the field-wide sleep tail), then
+    # committed exactly at the boundary.  The window is the protocol's
+    # crash-safety surface — a head dying inside it aborts its moves.
+    handoff_commit_lead: float = 0.25
+    # Per-cluster MAC passthroughs (all defaults = the exact current MAC
+    # arguments, bit for bit): the PR 4 liveness machinery and PR 7 warm
+    # solver cache, so handoff runs can exercise blacklist carryover and
+    # backup-bundle rebuilds end to end.
+    failure_detection: bool = False
+    dead_after_misses: int = 2
+    backup_k: int = 0
+    use_solver_cache: bool = False
 
 
 @dataclass(frozen=True)
@@ -113,6 +147,30 @@ class AdoptionEvent:
     dead_head: int
     adopter: int
     sensors: tuple[int, ...]  # global sensor ids that changed cluster
+
+
+@dataclass(frozen=True)
+class FieldHandoffEvent:
+    """One cross-cluster sensor handoff attempt and how it ended.
+
+    ``state`` is the protocol outcome: ``"committed"`` (the sensor now
+    belongs to ``dst``), ``"aborted-src-dead"`` / ``"aborted-dst-dead"``
+    (a head died inside the prepare->commit window; the radio was retuned
+    back and, for a dead source, the sensor left to the failover adoption
+    path), ``"deferred-busy"`` (an endpoint head was mid-cycle at prepare
+    time — token-mode overrun — so the move waits for a later boundary),
+    ``"deferred-src-empty"`` (the move would have emptied its source
+    cluster's roster), ``"deferred-unreachable"`` (the sensor still has
+    service at its source but no radio link into the destination roster)
+    or ``"deferred-bridge"`` (the sensor is a cut vertex of its source
+    cluster's hearing graph — removing it would strand covered members).
+    """
+
+    time: float
+    sensor: int  # global sensor id
+    src: int
+    dst: int
+    state: str
 
 
 @dataclass
@@ -131,11 +189,22 @@ class MultiClusterResult:
     """Cycle-boundary drift steps executed (0 for static runs)."""
     final_assignment_staleness: float = 0.0
     """Fraction of sensors whose nearest head at the end of the run differs
-    from the deploy-time Voronoi assignment — how stale the forming became
-    under mobility (0.0 for static runs)."""
+    from the assignment in force — the deploy-time Voronoi forming, or the
+    handoff coordinator's live serving map when field re-forming is armed
+    (0.0 for static runs)."""
     telemetry: "_obs.Telemetry | None" = None
     """The run's telemetry collector (``config.telemetry=True`` or an
     ambient ``obs.use(...)`` scope); ``None`` for untraced runs."""
+    field_coordinator: "FieldReformCoordinator | None" = None
+    """Present only when ``config.handoff != "off"``; carries the re-form/
+    handoff timeline and the live serving map."""
+    staleness_trajectory: tuple[float, ...] = ()
+    """Assignment staleness sampled at every mobility epoch (duty-cycle
+    boundary), not just at sim end — empty for static runs."""
+    field_coverage: float = 1.0
+    """Ground-truth fraction of sensors a live head can actually still
+    reach at sim end (in-roster hearing with a finite hop path, exclusions
+    removed) — the quantity handoff exists to defend under mobility."""
 
     @property
     def packets_delivered(self) -> int:
@@ -154,6 +223,23 @@ class MultiClusterResult:
 
     def per_cluster_delivery(self) -> list[tuple[int, int]]:
         return [(mac.cluster_id, mac.packets_delivered) for mac in self.macs]
+
+    @property
+    def handoff_events(self) -> list["FieldHandoffEvent"]:
+        if self.field_coordinator is None:
+            return []
+        return list(self.field_coordinator.events)
+
+    @property
+    def field_reforms(self) -> int:
+        return 0 if self.field_coordinator is None else self.field_coordinator.reforms
+
+    @property
+    def field_handoffs(self) -> int:
+        """Committed cross-cluster sensor moves over the whole run."""
+        if self.field_coordinator is None:
+            return 0
+        return self.field_coordinator.handoffs
 
 
 def _head_layout(k: int, field: float, rng) -> np.ndarray:
@@ -196,6 +282,14 @@ class _FieldMobility:
         self.field = field_m
         self._rngs = [mobility_rng(base_seed, i) for i in range(n_sensors)]
         self.epochs = 0
+        # Per-duty-cycle assignment staleness (satellite of DESIGN.md §13):
+        # the probe is pure computation over the fresh positions — no RNG,
+        # no events — so sampling it every epoch leaves mobility-only runs
+        # bit-for-bit unchanged.  ``_run_multicluster`` wires it to either
+        # the deploy-time assignment or the handoff coordinator's live
+        # serving map.
+        self.staleness_probe = None  # set after construction
+        self.staleness_trajectory: list[float] = []
         for k in range(1, int(n_cycles)):
             sim.at(k * cycle_length, self._epoch)
 
@@ -214,6 +308,15 @@ class _FieldMobility:
             )
         self.medium.update_positions(positions)
         self.epochs += 1
+        if self.staleness_probe is not None:
+            value = float(self.staleness_probe())
+            self.staleness_trajectory.append(value)
+            tel = _obs.current()
+            if tel.enabled:
+                tel.metrics.gauge("field.assignment_staleness").set(value)
+                tel.metrics.histogram(
+                    "field.assignment_staleness.trajectory"
+                ).observe(value)
 
 
 class HeadFailoverCoordinator:
@@ -417,6 +520,505 @@ class HeadFailoverCoordinator:
         )
 
 
+class FieldReformCoordinator:
+    """Field-level re-forming: cross-cluster handoff + head re-placement.
+
+    PR 6 made the field dynamic but froze multi-cluster membership: sensors
+    drift, ``final_assignment_staleness`` climbs, and boundary sensors end
+    up physically closer to (and often only reachable by) a *different*
+    head than the one still polling them.  This coordinator closes the
+    loop with a two-event protocol per duty-cycle boundary:
+
+    **prepare** (``boundary - handoff_commit_lead``, inside the field-wide
+    sleep tail): feed the field-scope staleness tracker; when it fires,
+    re-run the Voronoi forming over live positions (with one bounded
+    quantization step of head re-placement folded in, DESIGN.md §13) and
+    retune the planned movers' radios to their destination channels —
+    sensors are asleep, so the retune is invisible to the MAC.
+
+    **commit** (exactly at the boundary, scheduled at build time so the
+    kernel's FIFO tie-break runs it after the mobility epoch but before
+    any head's wakeup): re-check endpoint liveness — the prepare->commit
+    window is the protocol's crash surface — then rebuild every affected
+    cluster's PHY/agents with the new rosters.  Queued application packets
+    ride along (re-stamped to new local ids), CBR sources re-target, and
+    each affected head re-plans via the standard boundary repair (never a
+    cold re-solve); blacklists, departed marks and suspect evidence follow
+    the sensor across clusters.
+
+    Crash safety: a source head dead at commit aborts its moves and leaves
+    the orphans to :class:`HeadFailoverCoordinator` (one mover per sensor —
+    that is the ``dynamic.no-dual-membership`` invariant); a dead
+    destination aborts and retunes the movers home.  Either way no queue
+    is stranded: packets sit untouched in the old agents until a commit or
+    an adoption transplants them, and the ``dynamic.handoff-conservation``
+    invariant checks the field-wide pending count across every commit.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MultiClusterConfig,
+        net: FormedNetwork,
+        medium: RadioMedium,
+        macs: list[PollingClusterMac],
+        channels: np.ndarray,
+        head_positions: np.ndarray,
+        source_by_global: dict[int, CbrSource],
+    ):
+        self.sim = sim
+        self.config = config
+        self.medium = medium
+        self.macs = macs
+        self.channels = channels
+        # The SAME array HeadFailoverCoordinator holds: head re-placement
+        # mutates rows in place, so failover adoption groups orphans around
+        # the heads' *current* positions automatically.
+        self.head_positions = head_positions
+        self.source_by_global = source_by_global
+        self.serving = np.asarray(net.assignment, dtype=np.int64).copy()
+        if config.handoff_trigger is not None:
+            trigger = config.handoff_trigger
+        elif config.handoff == "periodic":
+            trigger = StalenessTrigger(
+                membership_delta=0, repair_fallbacks=0, period_cycles=1
+            )
+        else:
+            trigger = StalenessTrigger(membership_delta=3, repair_fallbacks=0)
+        self.tracker = FieldStalenessTracker(trigger=trigger)
+        self.events: list[FieldHandoffEvent] = []
+        self.reform_log: list[dict] = []
+        self.reforms = 0  # plans that reached commit
+        self.handoffs = 0  # committed sensor moves
+        self._pending: tuple[FieldReformPlan, list] | None = None
+        lead = min(float(config.handoff_commit_lead), 0.5 * config.cycle_length)
+        for k in range(1, int(config.n_cycles)):
+            t = k * config.cycle_length
+            sim.at(t - lead, self._prepare)
+            sim.at(t, self._commit)
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def _live(self) -> list[int]:
+        return [h for h in range(self.config.n_heads) if not self.macs[h].halted]
+
+    def _refresh_serving(self) -> None:
+        """Re-derive the serving map from the live rosters (ground truth).
+
+        Failover adoptions re-home sensors outside this coordinator; the
+        planner must see those sensors at their adopters, not at the dead
+        head.  Unclaimed sensors (a dark cluster's unadopted orphans) keep
+        their last serving head — the planner skips dead sources anyway.
+        """
+        for h, mac in enumerate(self.macs):
+            if mac.halted or mac.phy.index_map is None:
+                continue
+            for g in mac.phy.index_map[:-1]:
+                self.serving[int(g)] = h
+
+    def _frozen_globals(self, live: list[int]) -> set[int]:
+        """Sensors that must not move.
+
+        Two classes: sensors *excluded* at their current head (a
+        blacklisted or departed radio cannot be assumed to obey a retune;
+        absent ones are administratively out — their evidence still
+        carries over if the roster moves around them), and sensors
+        currently carrying *relay flow* in their cluster's routing — a
+        relay that walks out strands every sensor routing through it, so
+        it only moves once a re-plan no longer leans on it.
+        """
+        frozen: set[int] = set()
+        for h in live:
+            mac = self.macs[h]
+            im = mac.phy.index_map
+            frozen |= {int(im[l]) for l in mac._excluded()}
+            for alternatives in mac.routing.flow_paths.values():
+                for path, units in alternatives:
+                    if units <= 0:
+                        continue
+                    frozen |= {
+                        int(im[l]) for l in path[1:] if l != HEAD
+                    }
+        return frozen
+
+    def _field_pending(self) -> int:
+        """Total queued application packets across every cluster's agents."""
+        return sum(
+            agent.pending_count for mac in self.macs for agent in mac.sensors
+        )
+
+    def _hears_into(self, g: int, dst: int) -> bool:
+        """Whether sensor *g* has a bidirectional link into *dst*'s roster.
+
+        Voronoi distance is the planning signal but radio reachability is
+        the service: a sensor can be nearer to another head in meters yet
+        only connected through its old cluster's relay chain.  One live
+        link into the destination roster (member or head) is the cheap
+        necessary condition the coordinator checks before moving a sensor
+        that still has service where it is.
+        """
+        im = self.macs[dst].phy.index_map
+        for t in im:
+            t = int(t)
+            if t != g and self.medium.hears(t, g) and self.medium.hears(g, t):
+                return True
+        return False
+
+    def current_staleness(self) -> float:
+        """Serving staleness against live heads and the live serving map."""
+        self._refresh_serving()
+        return serving_staleness(
+            self.medium.positions[: self.config.n_sensors],
+            self.head_positions,
+            self.serving,
+            self._live(),
+        )
+
+    # -- prepare -----------------------------------------------------------------
+
+    def _prepare(self) -> None:
+        self._refresh_serving()
+        cfg = self.config
+        live = self._live()
+        positions = self.medium.positions[: cfg.n_sensors]
+        frozen = self._frozen_globals(live)
+        probe = plan_field_reform(
+            positions,
+            self.head_positions,
+            self.serving,
+            reason="probe",
+            live_heads=live,
+            max_moves=cfg.handoff_max_moves,
+            head_step_m=0.0,
+            frozen_sensors=frozen,
+        )
+        misassigned = probe.n_moves + len(probe.deferred)
+        reason = self.tracker.observe_boundary(misassigned)
+        if reason is None:
+            return
+        if cfg.handoff_head_step_m > 0.0:
+            plan = plan_field_reform(
+                positions,
+                self.head_positions,
+                self.serving,
+                reason=reason,
+                live_heads=live,
+                max_moves=cfg.handoff_max_moves,
+                head_step_m=cfg.handoff_head_step_m,
+                frozen_sensors=frozen,
+            )
+        else:
+            plan = dataclasses.replace(probe, reason=reason)
+        staged = []
+        roster_left = {
+            h: len(self.macs[h].phy.index_map) - 1 for h in live
+        }
+        # Per-source masked hearing graphs for the bridge guard, updated
+        # incrementally as moves are accepted so a batch never strands a
+        # member through its combined removals.
+        src_graph: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for m in plan.moves:
+            if self.macs[m.src].halted or self.macs[m.dst].halted:
+                continue  # planner already skips dead sources; stay safe
+            if self.macs[m.src].mid_cycle or self.macs[m.dst].mid_cycle:
+                # Token-mode overrun: an endpoint is inside a duty cycle.
+                # Roster surgery only happens between cycles; wait.
+                self.events.append(
+                    FieldHandoffEvent(
+                        self.sim.now, m.sensor, m.src, m.dst, "deferred-busy"
+                    )
+                )
+                continue
+            if roster_left[m.src] <= 1:
+                # Never empty a cluster: a head with no members has no duty
+                # cycle to announce the next re-form through.
+                self.events.append(
+                    FieldHandoffEvent(
+                        self.sim.now, m.sensor, m.src, m.dst, "deferred-src-empty"
+                    )
+                )
+                continue
+            src_local = list(self.macs[m.src].phy.index_map[:-1]).index(m.sensor)
+            covered_at_src = src_local not in self.macs[m.src].unreachable
+            if covered_at_src and not self._hears_into(m.sensor, m.dst):
+                # Nearer in meters, unreachable by radio: moving would trade
+                # working multihop service for none.  A sensor already
+                # uncovered at its source has nothing to lose and moves.
+                self.events.append(
+                    FieldHandoffEvent(
+                        self.sim.now, m.sensor, m.src, m.dst, "deferred-unreachable"
+                    )
+                )
+                continue
+            if m.src not in src_graph:
+                fresh = _discover_local_cluster(self.macs[m.src].phy)
+                hears = fresh.hears.copy()
+                head_hears = fresh.head_hears.copy()
+                for l in self.macs[m.src]._excluded():
+                    hears[l, :] = False
+                    hears[:, l] = False
+                    head_hears[l] = False
+                src_graph[m.src] = (hears, head_hears)
+            hears, head_hears = src_graph[m.src]
+            cov_before = _covered_set(hears, head_hears)
+            hears2 = hears.copy()
+            head_hears2 = head_hears.copy()
+            hears2[src_local, :] = False
+            hears2[:, src_local] = False
+            head_hears2[src_local] = False
+            if (cov_before - {src_local}) - _covered_set(hears2, head_hears2):
+                # The mover is a cut vertex: covered members route to the
+                # head only through it.  The active-relay freeze catches
+                # planned relays; this catches *potential* bridges in the
+                # raw hearing graph.
+                self.events.append(
+                    FieldHandoffEvent(
+                        self.sim.now, m.sensor, m.src, m.dst, "deferred-bridge"
+                    )
+                )
+                continue
+            src_graph[m.src] = (hears2, head_hears2)
+            roster_left[m.src] -= 1
+            roster_left[m.dst] += 1
+            # PREPARE: retune while the field sleeps.  Commit re-checks
+            # liveness; an abort retunes the radio back.
+            self.medium.set_channel(m.sensor, int(self.channels[m.dst]))
+            staged.append(m)
+        self._pending = (plan, staged)
+        _obs.current().timeline_event(
+            self.sim.now,
+            "field-reform-prepare",
+            reason=reason,
+            staleness=plan.staleness,
+            staged=len(staged),
+            deferred=len(plan.deferred),
+        )
+
+    # -- commit ------------------------------------------------------------------
+
+    def _commit(self) -> None:
+        if self._pending is None:
+            return
+        plan, staged = self._pending
+        self._pending = None
+        now = self.sim.now
+        committable = []
+        for m in staged:
+            if self.macs[m.src].halted:
+                # Source died inside the window: its sensors are a dead
+                # head's orphans — the failover watchdog owns them (one
+                # mover per sensor).  Retune home so its bookkeeping holds.
+                self.medium.set_channel(m.sensor, int(self.channels[m.src]))
+                self.events.append(
+                    FieldHandoffEvent(now, m.sensor, m.src, m.dst, "aborted-src-dead")
+                )
+                continue
+            if self.macs[m.dst].halted:
+                self.medium.set_channel(m.sensor, int(self.channels[m.src]))
+                self.events.append(
+                    FieldHandoffEvent(now, m.sensor, m.src, m.dst, "aborted-dst-dead")
+                )
+                continue
+            if self.macs[m.src].mid_cycle or self.macs[m.dst].mid_cycle:
+                self.medium.set_channel(m.sensor, int(self.channels[m.src]))
+                self.events.append(
+                    FieldHandoffEvent(now, m.sensor, m.src, m.dst, "deferred-busy")
+                )
+                continue
+            committable.append(m)
+        if self.config.handoff_head_step_m > 0.0:
+            self._apply_head_placement(plan)
+        self.tracker.fired()
+        self.reforms += 1
+        if committable:
+            self._execute(committable)
+        self.reform_log.append(
+            {
+                "time": now,
+                "reason": plan.reason,
+                "staleness": plan.staleness,
+                "committed": len(committable),
+                "aborted": len(staged) - len(committable),
+                "deferred": len(plan.deferred),
+            }
+        )
+        _obs.current().timeline_event(
+            now,
+            "field-reform-commit",
+            committed=len(committable),
+            aborted=len(staged) - len(committable),
+        )
+
+    def _apply_head_placement(self, plan: FieldReformPlan) -> None:
+        """Adopt the plan's quantization step: heads physically relocate."""
+        all_pos = self.medium.positions.copy()
+        moved = False
+        for h in range(self.config.n_heads):
+            if not np.array_equal(plan.head_positions[h], self.head_positions[h]):
+                self.head_positions[h] = plan.head_positions[h]
+                all_pos[self.config.n_sensors + h] = plan.head_positions[h]
+                moved = True
+        if moved:
+            self.medium.update_positions(all_pos)
+
+    def _execute(self, committable) -> None:
+        cfg = self.config
+        affected = sorted({m.src for m in committable} | {m.dst for m in committable})
+        pending_before = self._field_pending()
+        # Global views across the affected heads: agents, radios, demand
+        # rows and the per-cluster liveness evidence (evidence follows the
+        # sensor through the handoff — a blacklist is about the node, not
+        # about who polls it).
+        bl_g: set[int] = set()
+        dep_g: set[int] = set()
+        abs_g: set[int] = set()
+        susp_g: dict[int, int] = {}
+        agent_by_global: dict[int, PollingSensorAgent] = {}
+        trx_by_global: dict[int, Transceiver] = {}
+        row_by_global: dict[int, tuple[int, float]] = {}
+        for h in affected:
+            mac = self.macs[h]
+            im = mac.phy.index_map
+            bl_g |= {int(im[l]) for l in mac.blacklisted}
+            dep_g |= {int(im[l]) for l in mac.departed}
+            abs_g |= {int(im[l]) for l in mac.absent}
+            for l, c in mac._suspect_misses.items():
+                susp_g[int(im[l])] = c
+            for l, g in enumerate(im[:-1]):
+                agent_by_global[int(g)] = mac.sensors[l]
+                trx_by_global[int(g)] = mac.phy.transceivers[l]
+                row_by_global[int(g)] = (
+                    int(mac.phy.cluster.packets[l]),
+                    float(mac.phy.cluster.energy[l]),
+                )
+        moved_out: dict[int, set[int]] = {h: set() for h in affected}
+        moved_in: dict[int, list[int]] = {h: [] for h in affected}
+        for m in committable:
+            moved_out[m.src].add(m.sensor)
+            moved_in[m.dst].append(m.sensor)
+            self.serving[m.sensor] = m.dst
+        for h in affected:
+            self._rebuild_head(
+                h,
+                moved_out[h],
+                sorted(moved_in[h]),
+                agent_by_global,
+                trx_by_global,
+                row_by_global,
+                bl_g,
+                dep_g,
+                abs_g,
+                susp_g,
+            )
+        pending_after = self._field_pending()
+        hint = f"field re-form t={self.sim.now:g}"
+        _validate.check_handoff_conservation(
+            pending_before,
+            pending_after,
+            moved=len(committable),
+            sim_time=self.sim.now,
+            hint=hint,
+        )
+        live_rosters = {
+            h: [int(g) for g in self.macs[h].phy.index_map[:-1]]
+            for h in self._live()
+        }
+        _validate.check_single_membership(
+            live_rosters, sim_time=self.sim.now, hint=hint
+        )
+        self.handoffs += len(committable)
+        self.events.extend(
+            FieldHandoffEvent(self.sim.now, m.sensor, m.src, m.dst, "committed")
+            for m in committable
+        )
+
+    def _rebuild_head(
+        self,
+        h: int,
+        out_set: set[int],
+        incoming: list[int],
+        agent_by_global: dict,
+        trx_by_global: dict,
+        row_by_global: dict,
+        bl_g: set[int],
+        dep_g: set[int],
+        abs_g: set[int],
+        susp_g: dict[int, int],
+    ) -> None:
+        mac = self.macs[h]
+        old_phy = mac.phy
+        assert old_phy.index_map is not None
+        head_global = int(old_phy.index_map[-1])
+        # Retained members keep their old relative order (stable local ids
+        # for the common case); incoming append in global-id order.
+        retained = [int(g) for g in old_phy.index_map[:-1] if int(g) not in out_set]
+        roster = retained + incoming
+        new_index_map = roster + [head_global]
+        transceivers = [trx_by_global[g] for g in roster] + [old_phy.transceivers[-1]]
+        n_new = len(roster)
+        base = Cluster(
+            hears=np.zeros((n_new, n_new), dtype=bool),  # rediscovered below
+            head_hears=np.zeros(n_new, dtype=bool),
+            packets=np.array([row_by_global[g][0] for g in roster], dtype=np.int64),
+            energy=np.array([row_by_global[g][1] for g in roster], dtype=np.float64),
+            positions=self.medium.positions[
+                np.asarray(roster, dtype=np.int64)
+            ].copy(),
+            head_position=self.head_positions[h].copy(),
+        )
+        new_phy = ClusterPhy(
+            sim=self.sim,
+            cluster=base,
+            medium=self.medium,
+            transceivers=transceivers,
+            tracer=old_phy.tracer,
+            index_map=new_index_map,
+        )
+        new_phy.cluster = _discover_local_cluster(new_phy)
+        incoming_set = set(incoming)
+        bl_l: set[int] = set()
+        dep_l: set[int] = set()
+        abs_l: set[int] = set()
+        susp_l: dict[int, int] = {}
+        new_agents: list[PollingSensorAgent] = []
+        for local, g in enumerate(roster):
+            # Constructing the agent re-binds the radio's receive callback —
+            # for a mover, that *is* the handoff.
+            agent = PollingSensorAgent(
+                new_phy, local, mac.sizes, mac.timings, cluster_id=h
+            )
+            old_agent = agent_by_global[g]
+            # Queued application data survives (re-stamped to the new local
+            # id); relay buffers and in-cycle assignments belonged to the
+            # old schedule.  Any request in flight when the plan was made
+            # re-issues from this queue at the new head — never dropped.
+            for pkt in old_agent.own_queue:
+                agent.own_queue.append(dataclasses.replace(pkt, origin=local))
+            old_agent.own_queue.clear()
+            # A mover asleep on its old head's schedule would miss the new
+            # head's polls until the stale wake timer fires; wake it now.
+            if g in incoming_set and agent.trx.is_sleeping:
+                agent.trx.wake()
+            self.source_by_global[g].deliver = agent.generate_packet
+            if g in bl_g:
+                bl_l.add(local)
+            if g in dep_g:
+                dep_l.add(local)
+            if g in abs_g:
+                abs_l.add(local)
+            if g in susp_g:
+                susp_l[local] = susp_g[g]
+            new_agents.append(agent)
+        mac.reform_membership(
+            new_phy,
+            new_agents,
+            blacklisted=bl_l,
+            departed=dep_l,
+            absent=abs_l,
+            suspect_misses=susp_l,
+        )
+
+
 def run_multicluster_simulation(
     config: MultiClusterConfig = MultiClusterConfig(),
     tracer: Tracer | None = None,
@@ -430,6 +1032,8 @@ def run_multicluster_simulation(
     """
     if config.mode not in ("channels", "token", "uncoordinated"):
         raise ValueError(f"unknown mode {config.mode!r}")
+    if config.handoff not in ("off", "staleness", "periodic"):
+        raise ValueError(f"unknown handoff policy {config.handoff!r}")
     if tracer is None:
         tracer = Tracer()
     own_tel = _obs.Telemetry() if config.telemetry else None
@@ -518,6 +1122,9 @@ def _run_multicluster(
         channels = np.zeros(config.n_heads, dtype=np.int64)
 
     # --- per-cluster stacks on shared PHY -----------------------------------------
+    # One warm solver cache across every head (opt-in): re-forms and
+    # adoptions that revisit a topology reuse its routing/backup solves.
+    solver_cache = SolverCache() if config.use_solver_cache else None
     macs: list[PollingClusterMac] = []
     all_agents = []
     duty_estimates: list[float] = []
@@ -548,6 +1155,10 @@ def _run_multicluster(
         mac = PollingClusterMac(
             phy, cycle_length=config.cycle_length, cluster_id=h,
             engine=config.engine,
+            failure_detection=config.failure_detection,
+            dead_after_misses=config.dead_after_misses,
+            backup_k=config.backup_k,
+            solver_cache=solver_cache,
         )
         macs.append(mac)
         all_agents.append(mac.sensors)
@@ -593,6 +1204,31 @@ def _run_multicluster(
         )
         coordinator.arm()
 
+    # --- field-level re-forming (armed only when asked: bit-for-bit otherwise) --------
+    field_coord: FieldReformCoordinator | None = None
+    if config.handoff != "off":
+        # Constructed after _FieldMobility on purpose: both schedule
+        # boundary events at build time, so the kernel's FIFO tie-break
+        # runs each epoch's position update before the commit that acts
+        # on it — and both before any head's wakeup at the same instant.
+        field_coord = FieldReformCoordinator(
+            sim=sim,
+            config=config,
+            net=net,
+            medium=medium,
+            macs=macs,
+            channels=channels,
+            head_positions=heads,
+            source_by_global=source_by_global,
+        )
+    if mobility is not None:
+        if field_coord is not None:
+            mobility.staleness_probe = field_coord.current_staleness
+        else:
+            mobility.staleness_probe = lambda: assignment_staleness(
+                medium.positions[: config.n_sensors], heads, net.assignment
+            )
+
     # --- start: aligned, staggered, or concurrent -------------------------------------
     if config.mode == "token":
         offset = 0.0
@@ -615,11 +1251,16 @@ def _run_multicluster(
                 trx.finalize()
     final_staleness = 0.0
     if mobility is not None:
-        final_staleness = assignment_staleness(
-            medium.positions[: config.n_sensors],
-            heads,
-            net.assignment,
-        )
+        if field_coord is not None:
+            # Measured against the assignment actually in force: the
+            # coordinator's live serving map and (possibly re-placed) heads.
+            final_staleness = field_coord.current_staleness()
+        else:
+            final_staleness = assignment_staleness(
+                medium.positions[: config.n_sensors],
+                heads,
+                net.assignment,
+            )
     return MultiClusterResult(
         config=config,
         net=net,
@@ -631,7 +1272,60 @@ def _run_multicluster(
         coordinator=coordinator,
         mobility_epochs=mobility.epochs if mobility is not None else 0,
         final_assignment_staleness=final_staleness,
+        field_coordinator=field_coord,
+        staleness_trajectory=(
+            () if mobility is None else tuple(mobility.staleness_trajectory)
+        ),
+        field_coverage=_field_coverage(macs, config.n_sensors),
     )
+
+
+def _covered_set(hears: np.ndarray, head_hears: np.ndarray) -> set[int]:
+    """Locals with some hop path to the head (BFS over the hearing graph)."""
+    known = head_hears.copy()
+    frontier = head_hears.copy()
+    while frontier.any():
+        newly = hears[frontier, :].any(axis=0) & ~known
+        known |= newly
+        frontier = newly
+    return set(int(i) for i in np.flatnonzero(known))
+
+
+def _field_coverage(macs: list[PollingClusterMac], n_sensors: int) -> float:
+    """Ground-truth serviceable fraction of the field at this instant.
+
+    A sensor counts as covered when some live head's roster contains it,
+    it is not excluded (blacklisted / departed / absent), and the *current*
+    radio geometry gives it a finite hop path to that head.  This is the
+    quantity field re-forming defends: under mobility with handoff off,
+    drifted boundary sensors stay on a stale roster that can no longer
+    physically reach them, and coverage decays even though every head is
+    alive.  Pure post-run measurement — no events, no RNG.
+    """
+    if n_sensors <= 0:
+        return 1.0
+    served: set[int] = set()
+    for mac in macs:
+        if mac.halted:
+            continue
+        phy = mac.phy
+        if phy.index_map is None or phy.n_sensors == 0:
+            continue
+        fresh = _discover_local_cluster(phy)
+        excluded = mac._excluded()
+        hears = fresh.hears.copy()
+        head_hears = fresh.head_hears.copy()
+        for l in excluded:
+            hears[l, :] = False
+            hears[:, l] = False
+            head_hears[l] = False
+        hops = dataclasses.replace(
+            fresh, hears=hears, head_hears=head_hears
+        ).min_hop_counts()
+        for l in range(phy.n_sensors):
+            if l not in excluded and np.isfinite(hops[l]):
+                served.add(int(phy.index_map[l]))
+    return len(served) / n_sensors
 
 
 def _discover_local_cluster(phy: ClusterPhy) -> Cluster:

@@ -25,6 +25,14 @@ from .recluster import (
     discovered_cluster,
     reform_cluster,
 )
+from .handoff import (
+    FieldReformPlan,
+    FieldStalenessTracker,
+    HandoffMove,
+    plan_field_reform,
+    quantization_head_step,
+    serving_staleness,
+)
 from .geometry import (
     as_positions,
     distances_to_point,
@@ -58,6 +66,12 @@ __all__ = [
     "discovered_cluster",
     "reform_cluster",
     "assignment_staleness",
+    "HandoffMove",
+    "FieldReformPlan",
+    "FieldStalenessTracker",
+    "plan_field_reform",
+    "quantization_head_step",
+    "serving_staleness",
     "as_positions",
     "pairwise_distances",
     "distances_to_point",

@@ -70,6 +70,8 @@ __all__ = [
     "check_backup_routes",
     "check_dynamic_membership",
     "check_reform_conservation",
+    "check_handoff_conservation",
+    "check_single_membership",
 ]
 
 MODES = ("off", "warn", "strict")
@@ -725,6 +727,74 @@ def check_reform_conservation(
         hint=hint,
     )
     return 1
+
+
+def check_handoff_conservation(
+    pending_before: int,
+    pending_after: int,
+    moved: int = 0,
+    monitor: InvariantMonitor | None = None,
+    sim_time: float | None = None,
+    hint: str = "",
+) -> int:
+    """Cross-cluster handoff conservation (DESIGN.md §13): queued
+    application packets survive a field-level handoff batch — the sum of
+    pending packets across every live cluster immediately after the batch
+    commits equals the sum just before.  A handoff transplants each moved
+    sensor's queue into its new cluster (re-stamped origins, same packets);
+    it must never strand, duplicate, or silently drop buffered data, no
+    matter how many sensors *moved* or which heads died mid-transfer."""
+    mon = _m(monitor)
+    if not mon.enabled:
+        return 0
+    if pending_after == pending_before:
+        return 0
+    mon.record(
+        "dynamic.handoff-conservation",
+        f"handoff batch ({moved} sensors moved) changed queued application "
+        f"packets from {pending_before} to {pending_after}; transplants must "
+        "conserve buffered data exactly",
+        sim_time=sim_time,
+        hint=hint,
+    )
+    return 1
+
+
+def check_single_membership(
+    rosters: dict[int, Iterable[int]],
+    monitor: InvariantMonitor | None = None,
+    sim_time: float | None = None,
+    hint: str = "",
+) -> int:
+    """No-dual-membership invariant (DESIGN.md §13): across the live
+    cluster heads of one field, every global sensor id belongs to at most
+    one roster.  *rosters* maps head id -> the global sensor ids its PHY
+    currently claims (``index_map`` without the head entry).  A sensor
+    claimed twice would be polled on two schedules and double-counted by
+    every per-cluster metric — the failure mode a handoff that forgets to
+    shrink the source cluster (or races the failover adoption path)
+    produces."""
+    mon = _m(monitor)
+    if not mon.enabled:
+        return 0
+    owner: dict[int, int] = {}
+    found = 0
+    for head in sorted(rosters):
+        for sensor in rosters[head]:
+            sensor = int(sensor)
+            if sensor in owner and owner[sensor] != head:
+                found += 1
+                mon.record(
+                    "dynamic.no-dual-membership",
+                    f"sensor {sensor} is claimed by live heads "
+                    f"{owner[sensor]} and {head} simultaneously",
+                    sim_time=sim_time,
+                    nodes=(sensor,),
+                    hint=hint,
+                )
+            else:
+                owner[sensor] = head
+    return found
 
 
 def check_delivered_stream(

@@ -152,3 +152,36 @@ def test_bank_shift_empty_index_is_noop():
     before = bank.consumed.copy()
     bank.shift(np.array([], dtype=np.int64), 5.0, 1, 2)
     assert np.array_equal(bank.consumed, before)
+
+
+# -- scalar-fallback accounting ------------------------------------------------
+
+
+def test_multicluster_fallbacks_counted_with_reason():
+    """index_map PHYs request vector, run scalar, and say why."""
+    from repro import obs
+    from repro.net import MultiClusterConfig, run_multicluster_simulation
+
+    tel = obs.Telemetry()
+    with obs.use(tel):
+        res = run_multicluster_simulation(
+            MultiClusterConfig(n_cycles=2, seed=0, engine="vector")
+        )
+    for mac in res.macs:
+        assert mac.vector_slots == 0
+        assert set(mac.engine_fallbacks) == {"index_map"}
+        assert mac.engine_fallbacks["index_map"] > 0
+    assert "engine.scalar_fallback.index_map" in tel.metrics
+    assert tel.metrics.counter("engine.scalar_fallback.index_map").value == sum(
+        mac.engine_fallbacks["index_map"] for mac in res.macs
+    )
+
+
+def test_scalar_request_is_not_a_fallback():
+    from repro.net import MultiClusterConfig, run_multicluster_simulation
+
+    res = run_multicluster_simulation(
+        MultiClusterConfig(n_cycles=2, seed=0, engine="scalar")
+    )
+    for mac in res.macs:
+        assert mac.engine_fallbacks == {}

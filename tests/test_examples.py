@@ -64,6 +64,13 @@ def test_churn_recluster_runs():
 
 
 @pytest.mark.slow
+def test_field_handoff_runs():
+    out = run_example("field_handoff.py")
+    assert "re-form (membership)" in out
+    assert "the forming stayed fresh" in out
+
+
+@pytest.mark.slow
 def test_environment_monitoring_runs():
     out = run_example("environment_monitoring.py")
     assert "throughput ratio 1.000" in out

