@@ -35,14 +35,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="BENCH_obs_overhead.json from a fresh run")
     parser.add_argument("--max-ratio", type=float, default=2.0,
                         help="budget for on/off median ratio (default 2.0)")
+    parser.add_argument("--off-suffix", default="test_bench_polling_telemetry_off",
+                        help="fullname suffix of the instrumentation-off bench")
+    parser.add_argument("--on-suffix", default="test_bench_polling_telemetry_on",
+                        help="fullname suffix of the instrumentation-on bench")
     args = parser.parse_args(argv)
 
     by_name = medians(args.bench_json)
     off = on = None
     for name, median in by_name.items():
-        if name.endswith("test_bench_polling_telemetry_off"):
+        if name.endswith(args.off_suffix):
             off = median
-        elif name.endswith("test_bench_polling_telemetry_on"):
+        elif name.endswith(args.on_suffix):
             on = median
     if off is None or on is None:
         print(f"missing off/on benchmarks in {args.bench_json}: {sorted(by_name)}",

@@ -16,12 +16,17 @@ the JSON trail is the repo's perf trajectory.
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
 import pytest
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.campaign import host_fingerprint  # noqa: E402
 
 CHEAP_BENCHES = {
     "fig2": "test_bench_fig2.py",
@@ -32,7 +37,18 @@ CHEAP_BENCHES = {
     "handoff": "test_bench_handoff.py",
     "obs_overhead": "test_bench_obs_overhead.py",
     "vector": "test_bench_vector.py",
+    "campaign": "test_bench_campaign.py",
 }
+
+
+def stamp_host(path: pathlib.Path) -> None:
+    """Embed the host fingerprint so comparisons can tell drift from regression."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    payload["host_fingerprint"] = host_fingerprint()
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -69,6 +85,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[run_benchmarks] {module} FAILED (exit {code})", file=sys.stderr)
             failures += 1
         else:
+            stamp_host(out)
             print(f"[run_benchmarks] wrote {out}")
     return 1 if failures else 0
 

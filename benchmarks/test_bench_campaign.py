@@ -1,0 +1,41 @@
+"""Bench: campaign feed overhead on run_sweep (off vs on).
+
+Two medians over the same small fig7c sweep: ``off`` is the plain
+``run_sweep`` path (no campaign dir), ``on`` streams every trial event to
+an fsynced JSONL feed in a scratch dir.  ``check_obs_overhead.py
+--off-suffix test_bench_sweep_feed_off --on-suffix test_bench_sweep_feed_on``
+holds the ratio to the 2x budget; ``compare_benchmarks.py`` separately
+guards the ``off`` median against historical regression.
+"""
+
+import shutil
+import tempfile
+
+from repro.experiments.runner import Trial, run_sweep
+
+TRIALS = [
+    Trial("fig7c", {"sizes": [8], "seeds": [3]}),
+    Trial("fig7c", {"sizes": [8], "seeds": [4]}),
+]
+
+
+def _sweep_plain():
+    return run_sweep(TRIALS)
+
+
+def _sweep_feed():
+    root = tempfile.mkdtemp(prefix="bench-campaign-")
+    try:
+        return run_sweep(TRIALS, campaign_dir=root)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_bench_sweep_feed_off(benchmark):
+    results = benchmark(_sweep_plain)
+    assert len(results) == len(TRIALS)
+
+
+def test_bench_sweep_feed_on(benchmark):
+    results = benchmark(_sweep_feed)
+    assert len(results) == len(TRIALS)

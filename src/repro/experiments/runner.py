@@ -47,6 +47,21 @@ progress (DESIGN.md §8):
   its kwargs, a sweep killed mid-flight and resumed is **bit-for-bit**
   identical to an uninterrupted run.  A line truncated by the kill is
   tolerated (skipped) on load.
+
+Campaign observability
+----------------------
+``campaign_dir=`` streams one fsynced JSONL record per trial event
+(``launched`` / ``retry`` / ``timeout`` / ``cached`` / ``completed`` /
+``failed``) into a :class:`repro.obs.campaign.CampaignFeed` so a running
+sweep can be watched, health-checked, and forensically examined without
+touching its results (``python -m repro.obs.campaign <dir>``).  Every
+execution path emits: the parent for cache hits, journal resume, and the
+resilient executor; each pool worker writes its **own** feed shard.  A
+trial satisfied from the cache *and* the journal emits its ``cached``
+record exactly once (the slot's done-flag guards both sources), so a
+killed-and-resumed campaign feed stays duplicate-free per run.
+``campaign_dir=None`` (default) constructs nothing — the bit-for-bit
+contract of the rest of :mod:`repro.obs` applies.
 """
 
 from __future__ import annotations
@@ -55,6 +70,7 @@ import hashlib
 import importlib
 import json
 import os
+import sys
 import tempfile
 import time
 from collections import deque
@@ -354,15 +370,33 @@ def run_trial(trial: Trial) -> Any:
     return _jsonify(fn(**trial.kwargs))
 
 
+def _peak_rss_kb() -> int | None:
+    """This process's memory high-water mark in KiB (None off-Unix).
+
+    In a resilient fork the number is trial-accurate (one trial per
+    process); in a reused pool worker it is the worker's running maximum —
+    still enough for the campaign monitor to spot a leaking trial family.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-Unix platform
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - reported in bytes there
+        rss //= 1024
+    return int(rss)
+
+
 def run_trial_with_summary(trial: Trial) -> tuple[Any, dict[str, Any]]:
     """Execute one trial under a fresh telemetry collector.
 
     Returns ``(result, summary)`` where the summary is the JSON-compatible
     digest of :meth:`repro.obs.Telemetry.summary` plus the trial's wall
-    time — small enough to cross a worker pipe, land in the cache, and be
-    folded into the sweep-level collector with ``merge_summary``.  The
-    collector is trial-local, so fork-isolated workers never need to ship
-    the (unpicklable, PHY-laden) span tree back to the parent.
+    time and the worker's peak RSS — small enough to cross a worker pipe,
+    land in the cache, and be folded into the sweep-level collector with
+    ``merge_summary``.  The collector is trial-local, so fork-isolated
+    workers never need to ship the (unpicklable, PHY-laden) span tree back
+    to the parent.
 
     Top-level so it pickles for pool workers.
     """
@@ -374,6 +408,41 @@ def run_trial_with_summary(trial: Trial) -> tuple[Any, dict[str, Any]]:
         result = run_trial(trial)
     summary = tel.summary()
     summary["wall_s"] = time.perf_counter() - start
+    summary["peak_rss_kb"] = _peak_rss_kb()
+    return result, summary
+
+
+def _run_trial_feed(args: tuple[Trial, str, str]) -> tuple[Any, dict[str, Any]]:
+    """Pool/in-process worker body that streams its own campaign records.
+
+    Each worker process constructs its own :class:`CampaignFeed` (own shard
+    file — concurrent writers never share a file descriptor) and brackets
+    the trial with ``launched`` / ``completed``, or a ``failed`` record if
+    the trial raises (the exception still propagates, preserving the
+    non-resilient path's fail-fast semantics).
+
+    Top-level so it pickles for pool workers.
+    """
+    from ..obs.campaign import CampaignFeed
+
+    trial, feed_root, run_id = args
+    feed = CampaignFeed(feed_root, run_id=run_id)
+    key = trial.cache_key()
+    kwargs = _jsonify(trial.kwargs)
+    feed.emit_trial("launched", key, trial.experiment, kwargs, attempt=1)
+    try:
+        result, summary = run_trial_with_summary(trial)
+    except BaseException as exc:  # noqa: BLE001 - record, then re-raise
+        feed.emit_trial(
+            "failed",
+            key,
+            trial.experiment,
+            kwargs,
+            error=f"{type(exc).__name__}: {exc}",
+            attempts=1,
+        )
+        raise
+    feed.emit_trial("completed", key, trial.experiment, kwargs, summary=summary)
     return result, summary
 
 
@@ -400,8 +469,9 @@ def _run_resilient(
     retries: int,
     backoff_base: float,
     backoff_max: float,
-    on_complete: Callable[[int, Trial, Any], None],
+    on_complete: Callable[[int, Trial, Any, int], None],
     with_summary: bool = False,
+    on_event: Callable[..., None] | None = None,
 ) -> dict[int, Any]:
     """Run trials in single-trial worker processes with healing.
 
@@ -410,10 +480,15 @@ def _run_resilient(
     Failures are retried up to *retries* times with bounded exponential
     backoff (``backoff_base * 2**(attempt-1)``, capped at ``backoff_max``
     seconds), then settled as :class:`TrialFailure`.  ``on_complete`` fires
-    as each slot settles (the checkpoint/cache hook).  Returns slot ->
-    result-or-failure.
+    as each slot settles (the checkpoint/cache hook); ``on_event`` fires on
+    every lifecycle transition (``launched`` / ``timeout`` / ``retry`` —
+    the campaign-feed hook).  Returns slot -> result-or-failure.
     """
     ctx = get_context("fork")
+
+    def event(name: str, slot: int, trial: Trial, attempt: int, **info) -> None:
+        if on_event is not None:
+            on_event(name, slot, trial, attempt, **info)
     ready: deque[tuple[int, Trial, int]] = deque(
         (slot, trial, 1) for slot, trial in pending
     )
@@ -433,11 +508,21 @@ def _run_resilient(
         child_conn.close()
         deadline = None if timeout is None else time.monotonic() + timeout
         running[parent_conn] = (proc, slot, trial, attempt, deadline)
+        event("launched", slot, trial, attempt)
 
     def settle_failure(slot: int, trial: Trial, attempt: int, error: str, timed_out: bool) -> None:
         if attempt <= retries:
             delay = min(backoff_max, backoff_base * (2 ** (attempt - 1)))
             parked.append((time.monotonic() + delay, slot, trial, attempt + 1))
+            event(
+                "retry",
+                slot,
+                trial,
+                attempt,
+                error=error,
+                timed_out=timed_out,
+                next_delay_s=delay,
+            )
             return
         failure = TrialFailure(
             experiment=trial.experiment,
@@ -447,7 +532,7 @@ def _run_resilient(
             timed_out=timed_out,
         )
         out[slot] = failure
-        on_complete(slot, trial, failure)
+        on_complete(slot, trial, failure, attempt)
 
     while ready or parked or running:
         now = time.monotonic()
@@ -484,7 +569,7 @@ def _run_resilient(
             proc.join()
             if status == "ok":
                 out[slot] = payload
-                on_complete(slot, trial, payload)
+                on_complete(slot, trial, payload, attempt)
             else:
                 settle_failure(slot, trial, attempt, payload, timed_out=False)
         now = time.monotonic()
@@ -494,6 +579,7 @@ def _run_resilient(
                 proc.terminate()
                 proc.join()
                 conn.close()
+                event("timeout", slot, trial, attempt, timeout_s=timeout)
                 settle_failure(
                     slot,
                     trial,
@@ -516,6 +602,7 @@ def run_sweep(
     checkpoint: str | os.PathLike | SweepCheckpoint | None = None,
     resume: bool = False,
     telemetry: Any | None = None,
+    campaign_dir: str | os.PathLike | None = None,
 ) -> list[Any]:
     """Run *trials*, returning their results in trial order.
 
@@ -551,6 +638,12 @@ def run_sweep(
         resumes.  Adds ``runner.trials`` / ``runner.cache_hits`` /
         ``runner.failures`` counters and a ``runner.trial_wall_s``
         histogram.  ``None`` (the default) changes nothing.
+    campaign_dir:
+        directory for the streaming campaign feed (see the module
+        docstring and :mod:`repro.obs.campaign`).  One fsynced JSONL
+        record per trial event, watchable live with
+        ``python -m repro.obs.campaign <dir>``.  ``None`` (the default)
+        emits nothing and is bit-for-bit free.
     """
     if cache is None and cache_dir is not None:
         cache = SweepCache(cache_dir)
@@ -563,8 +656,17 @@ def run_sweep(
             if isinstance(checkpoint, SweepCheckpoint)
             else SweepCheckpoint(checkpoint)
         )
+    feed = None
+    if campaign_dir is not None:
+        from ..obs.campaign import CampaignFeed
+
+        feed = CampaignFeed(campaign_dir)
     resilient = timeout is not None or retries > 0 or journal is not None
     collect = telemetry is not None and getattr(telemetry, "enabled", False)
+    # The feed wants per-trial wall/RSS/metric snapshots even when no
+    # sweep-level collector is aggregating, so summaries ride along in
+    # either case (telemetry inside a trial never perturbs its results).
+    want_summary = collect or feed is not None
 
     def absorb(summary: dict[str, Any] | None, cached: bool = False) -> None:
         """Fold one trial's digest into the sweep collector."""
@@ -581,12 +683,24 @@ def run_sweep(
                 metrics.histogram("runner.trial_wall_s").observe(float(wall))
 
     results: list[Any] = [None] * len(trials)
-    need_keys = cache is not None or journal is not None
+    need_keys = cache is not None or journal is not None or feed is not None
     code = code_version() if need_keys else None
     keys: list[str | None] = [
         trial.cache_key(code) if need_keys else None for trial in trials
     ]
 
+    if feed is not None:
+        feed.emit(
+            "sweep-start",
+            None,
+            trials=len(trials),
+            experiments=sorted({t.experiment for t in trials}),
+            resume=bool(resume),
+        )
+
+    # A trial satisfied by the cache *and* the journal must contribute to
+    # aggregation — and emit its campaign ``cached`` record — exactly once:
+    # the done-flag set by the cache pass guards the resume pass below.
     done = [False] * len(trials)
     if cache is not None:
         for idx, key in enumerate(keys):
@@ -595,6 +709,15 @@ def run_sweep(
                 results[idx] = entry["result"]
                 done[idx] = True
                 absorb(entry.get("telemetry"), cached=True)
+                if feed is not None:
+                    feed.emit_trial(
+                        "cached",
+                        key,
+                        trials[idx].experiment,
+                        _jsonify(trials[idx].kwargs),
+                        summary=entry.get("telemetry"),
+                        source="cache",
+                    )
     if journal is not None and resume:
         completed = journal.load()
         for idx, key in enumerate(keys):
@@ -602,34 +725,85 @@ def run_sweep(
                 continue
             record = completed[key]
             if "failure" in record:
-                results[idx] = TrialFailure.from_dict(record["failure"])
+                failure = TrialFailure.from_dict(record["failure"])
+                results[idx] = failure
                 if collect:
                     telemetry.metrics.counter("runner.trials").inc()
                     telemetry.metrics.counter("runner.failures").inc()
+                if feed is not None:
+                    feed.emit_trial(
+                        "failed",
+                        key,
+                        failure.experiment,
+                        failure.kwargs,
+                        error=failure.error,
+                        attempts=failure.attempts,
+                        timed_out=failure.timed_out,
+                        source="journal",
+                    )
             else:
                 results[idx] = record["result"]
                 absorb(record.get("telemetry"), cached=True)
+                if feed is not None:
+                    feed.emit_trial(
+                        "cached",
+                        key,
+                        trials[idx].experiment,
+                        _jsonify(trials[idx].kwargs),
+                        summary=record.get("telemetry"),
+                        source="journal",
+                    )
             done[idx] = True
 
     pending = [(idx, trials[idx]) for idx in range(len(trials)) if not done[idx]]
 
     if resilient:
-        def on_complete(idx: int, trial: Trial, outcome: Any) -> None:
+        def on_complete(idx: int, trial: Trial, outcome: Any, attempt: int = 1) -> None:
             if isinstance(outcome, TrialFailure):
                 if journal is not None:
                     journal.append(keys[idx], failure=outcome)
                 if collect:
                     telemetry.metrics.counter("runner.trials").inc()
                     telemetry.metrics.counter("runner.failures").inc()
+                if feed is not None:
+                    feed.emit_trial(
+                        "failed",
+                        keys[idx],
+                        outcome.experiment,
+                        outcome.kwargs,
+                        error=outcome.error,
+                        attempts=outcome.attempts,
+                        timed_out=outcome.timed_out,
+                    )
                 return
             summary: dict[str, Any] | None = None
-            if collect:
+            if want_summary:
                 outcome, summary = outcome
                 absorb(summary)
             if cache is not None:
                 cache.put(keys[idx], trial, outcome, telemetry=summary)
             if journal is not None:
                 journal.append(keys[idx], result=outcome, telemetry=summary)
+            if feed is not None:
+                feed.emit_trial(
+                    "completed",
+                    keys[idx],
+                    trial.experiment,
+                    _jsonify(trial.kwargs),
+                    summary=summary,
+                    attempt=attempt,
+                )
+
+        def on_event(name: str, idx: int, trial: Trial, attempt: int, **info) -> None:
+            if feed is not None:
+                feed.emit_trial(
+                    name,
+                    keys[idx],
+                    trial.experiment,
+                    _jsonify(trial.kwargs),
+                    attempt=attempt,
+                    **info,
+                )
 
         fresh_by_idx = _run_resilient(
             pending,
@@ -639,31 +813,50 @@ def run_sweep(
             backoff_base=backoff_base,
             backoff_max=backoff_max,
             on_complete=on_complete,
-            with_summary=collect,
+            with_summary=want_summary,
+            on_event=on_event if feed is not None else None,
         )
         for idx, outcome in fresh_by_idx.items():
-            if collect and not isinstance(outcome, TrialFailure):
+            if want_summary and not isinstance(outcome, TrialFailure):
                 outcome = outcome[0]
             results[idx] = outcome
+        if feed is not None:
+            feed.emit(
+                "sweep-end",
+                None,
+                trials=len(trials),
+                failures=sum(1 for r in results if isinstance(r, TrialFailure)),
+            )
         return results
 
     todo = [trial for _, trial in pending]
-    runner = run_trial_with_summary if collect else run_trial
-    if processes is not None and processes > 1 and len(todo) > 1:
-        ctx = get_context("fork")
-        with ctx.Pool(processes=processes) as pool:
-            fresh = pool.map(runner, todo)
+    if feed is not None:
+        feed_args = [(trial, str(feed.root), feed.run_id) for trial in todo]
+        if processes is not None and processes > 1 and len(todo) > 1:
+            ctx = get_context("fork")
+            with ctx.Pool(processes=processes) as pool:
+                fresh = pool.map(_run_trial_feed, feed_args)
+        else:
+            fresh = [_run_trial_feed(args) for args in feed_args]
     else:
-        fresh = [runner(trial) for trial in todo]
+        runner = run_trial_with_summary if want_summary else run_trial
+        if processes is not None and processes > 1 and len(todo) > 1:
+            ctx = get_context("fork")
+            with ctx.Pool(processes=processes) as pool:
+                fresh = pool.map(runner, todo)
+        else:
+            fresh = [runner(trial) for trial in todo]
 
     for (idx, trial), outcome in zip(pending, fresh):
         summary = None
-        if collect:
+        if want_summary:
             outcome, summary = outcome
             absorb(summary)
         results[idx] = outcome
         if cache is not None:
             cache.put(keys[idx], trial, outcome, telemetry=summary)
+    if feed is not None:
+        feed.emit("sweep-end", None, trials=len(trials), failures=0)
     return results
 
 
@@ -679,6 +872,7 @@ def run_figure(
     checkpoint: str | os.PathLike | SweepCheckpoint | None = None,
     resume: bool = False,
     telemetry: Any | None = None,
+    campaign_dir: str | os.PathLike | None = None,
     **common: Any,
 ) -> list[dict]:
     """Sweep one grid parameter of a figure in parallel; flatten in grid order.
@@ -707,6 +901,7 @@ def run_figure(
         checkpoint=checkpoint,
         resume=resume,
         telemetry=telemetry,
+        campaign_dir=campaign_dir,
     )
     rows: list[dict] = []
     for value, result in zip(grid_values, results):

@@ -891,7 +891,9 @@ class PollingClusterMac:
             self.scalar_slots += t - vector.vector_slots
         else:
             self.scalar_slots += t
-        retx = scheduler.pool.total_attempts() - len(scheduler.pool.requests)
+        # Per-request, not pool-total: a request abandoned under faults with
+        # zero attempts would otherwise push the count negative.
+        retx = sum(max(0, r.attempts - 1) for r in scheduler.pool.requests)
         if scheduler.failover_events:
             self.in_cycle_failovers += len(scheduler.failover_events)
             self.failover_log.append(

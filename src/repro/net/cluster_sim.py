@@ -340,6 +340,12 @@ def run_polling_simulation(
             tel.extras["energy_per_radio_j"] = [
                 trx.meter.consumed_j for trx in phy.transceivers
             ]
+            # Accumulating counter (not a gauge): trials that run several
+            # sims sum their energy, and sweep-level merges stay lossless —
+            # the campaign monitor MAD-scans this for energy outliers.
+            tel.metrics.counter("mac.energy_j").inc(
+                float(sum(tel.extras["energy_per_radio_j"]))
+            )
             tel.extras["seed"] = config.seed
             tel.extras["n_sensors"] = config.n_sensors
             tel.finish(

@@ -53,4 +53,33 @@ __all__ = [
     "export_chrome_trace",
     "export_jsonl",
     "load_jsonl",
+    "CampaignFeed",
+    "campaign_status",
+    "detect_anomalies",
+    "host_fingerprint",
+    "load_feed",
+    "mad_outliers",
+    "triage_failures",
 ]
+
+_CAMPAIGN_EXPORTS = frozenset(
+    {
+        "CampaignFeed",
+        "campaign_status",
+        "detect_anomalies",
+        "host_fingerprint",
+        "load_feed",
+        "mad_outliers",
+        "triage_failures",
+    }
+)
+
+
+def __getattr__(name):
+    # Lazy so `python -m repro.obs.campaign` doesn't import the module
+    # twice (runpy warns when the package __init__ pre-loads its target).
+    if name in _CAMPAIGN_EXPORTS:
+        from . import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

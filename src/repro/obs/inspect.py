@@ -22,7 +22,7 @@ from typing import Any
 
 from .export import load_jsonl
 
-__all__ = ["summarize", "failure_chains", "main"]
+__all__ = ["summarize", "failure_chains", "engine_field_health", "main"]
 
 _TIMELINE_EVENTS = (
     "invariant-violation",
@@ -112,6 +112,43 @@ def failure_chains(trace: dict[str, Any]) -> list[dict[str, Any]]:
     return chains
 
 
+def engine_field_health(metrics: dict[str, Any]) -> list[str]:
+    """Engine-eligibility and field-staleness lines for the summary.
+
+    ``engine.scalar_fallback.<reason>`` counters say why a run that asked
+    for the vector engine executed scalar slots (so a slow trace is read as
+    a gated eligibility decision, not a mystery regression), and the
+    ``field.assignment_staleness`` gauge/trajectory says how stale the
+    Voronoi forming was — both land in the registry but were previously
+    invisible from the CLI.
+    """
+    lines: list[str] = []
+    fallbacks = {
+        name[len("engine.scalar_fallback."):]: payload.get("value")
+        for name, payload in sorted(metrics.items())
+        if name.startswith("engine.scalar_fallback.")
+    }
+    if fallbacks:
+        total = sum(v for v in fallbacks.values() if v)
+        reasons = ", ".join(f"{r}={v}" for r, v in fallbacks.items())
+        lines.append(f"vector->scalar fallbacks: {total} ({reasons})")
+    for name in ("mac.vector_slots", "mac.scalar_slots"):
+        payload = metrics.get(name)
+        if payload is not None:
+            lines.append(f"{name.split('.', 1)[1]}: {payload.get('value')}")
+    gauge = metrics.get("field.assignment_staleness")
+    if gauge is not None and gauge.get("value") is not None:
+        lines.append(f"field assignment staleness (final): {gauge['value']:.4f}")
+    traj = metrics.get("field.assignment_staleness.trajectory")
+    if traj is not None and traj.get("count"):
+        mean = traj["sum"] / traj["count"]
+        lines.append(
+            f"field staleness trajectory: mean {mean:.4f}, "
+            f"max {traj['max']:.4f} over {traj['count']} epochs"
+        )
+    return lines
+
+
 def summarize(
     trace: dict[str, Any], top: int = 10, show_failures: bool = True
 ) -> str:
@@ -143,6 +180,11 @@ def summarize(
             lines.append(
                 f"  {name:<28} {slot['dur'] * 1e3:>10.3f} ms  x{int(slot['count'])}"
             )
+
+    health = engine_field_health(meta.get("metrics", {}))
+    if health:
+        lines.append("\nengine / field health:")
+        lines.extend(f"  {line}" for line in health)
 
     ranked = sorted(spans, key=_span_duration, reverse=True)[:top]
     if ranked:

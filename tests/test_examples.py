@@ -57,6 +57,15 @@ def test_resilient_sweep_runs():
     assert "no progress lost" in out
 
 
+def test_campaign_monitor_runs():
+    out = run_example("campaign_monitor.py")
+    assert "event kinds: completed, failed, launched, retry" in out
+    assert "FAILED" in out and "repro: run_trial(Trial(" in out
+    assert "reconciles to 4 unique done trials (duplicate-free)" in out
+    assert "MAD score" in out
+    assert "every trial accounted for, every anomaly traceable" in out
+
+
 def test_churn_recluster_runs():
     out = run_example("churn_recluster.py")
     assert "re-form (membership)" in out

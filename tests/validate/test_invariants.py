@@ -16,7 +16,7 @@ from contextlib import contextmanager
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro import validate
 from repro.core import OnlinePollingScheduler
@@ -128,7 +128,14 @@ def test_chaos_random_fault_plans_pass_strict(seed, crash, stun, bursty):
     )
     config = PollingSimConfig(n_sensors=10, n_cycles=3, seed=seed, fault_plan=plan)
     with validate.strict():
-        result = run_polling_simulation(config)  # raises InvariantError on breach
+        try:
+            result = run_polling_simulation(config)  # raises InvariantError on breach
+        except RuntimeError as exc:
+            if "connected deployment" in str(exc):
+                # An unlucky geometry seed (10 sensors are sparse in 200x200 m
+                # at 55 m range) is a rejected sample, not an invariant breach.
+                assume(False)
+            raise
     assert result.violations == []
 
 
